@@ -1,0 +1,60 @@
+// Ablation: CDS acceptance policy — best-improvement (the paper scans all
+// K·N·(K−1) moves per iteration) vs first-improvement (apply the first
+// improving move found). Compares final cost, move counts and runtime.
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "core/drp_cds.h"
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace dbs;
+  using namespace dbs::bench;
+  const Options options = Options::parse(argc, argv);
+  const Defaults d;
+  banner("Ablation: CDS policy", "best-improvement vs first-improvement", options);
+
+  AsciiTable table({"N", "best: cost", "first: cost", "best: moves",
+                    "first: moves", "best: ms", "first: ms"});
+  std::vector<std::vector<double>> rows;
+
+  for (std::size_t n = 60; n <= 180; n += 40) {
+    double cost_best = 0.0, cost_first = 0.0;
+    double moves_best = 0.0, moves_first = 0.0;
+    double ms_best = 0.0, ms_first = 0.0;
+    for (std::size_t trial = 0; trial < options.trials; ++trial) {
+      const Database db = generate_database({.items = n, .skewness = d.skewness,
+                                             .diversity = d.diversity,
+                                             .seed = 9000 + n + trial});
+      for (CdsPolicy policy : {CdsPolicy::kBestImprovement, CdsPolicy::kFirstImprovement}) {
+        Allocation alloc = run_drp(db, d.channels).allocation;
+        Stopwatch watch;
+        const CdsStats stats = run_cds(alloc, {.policy = policy});
+        const double ms = watch.millis();
+        if (policy == CdsPolicy::kBestImprovement) {
+          cost_best += alloc.cost();
+          moves_best += static_cast<double>(stats.iterations);
+          ms_best += ms;
+        } else {
+          cost_first += alloc.cost();
+          moves_first += static_cast<double>(stats.iterations);
+          ms_first += ms;
+        }
+      }
+    }
+    const auto t = static_cast<double>(options.trials);
+    table.add_row(std::to_string(n),
+                  {cost_best / t, cost_first / t, moves_best / t, moves_first / t,
+                   ms_best / t, ms_first / t},
+                  3);
+    rows.push_back({static_cast<double>(n), cost_best / t, cost_first / t,
+                    moves_best / t, moves_first / t, ms_best / t, ms_first / t});
+  }
+  emit(table, options,
+       {"n", "best_cost", "first_cost", "best_moves", "first_moves", "best_ms",
+        "first_ms"},
+       rows);
+  std::puts("expect: both reach local optima of the same neighbourhood; "
+            "first-improvement usually needs more moves but each is cheaper.");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation: the dimension-reduction ordering. DRP sorts by benefit ratio
+// f/z; this bench swaps in frequency-only and size-only orders (the two raw
+// dimensions) to quantify how much the br reduction itself contributes.
+#include <cstdio>
+
+#include "baselines/ordered_dp.h"
+#include "core/drp_cds.h"
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace dbs;
+  using namespace dbs::bench;
+  const Options options = Options::parse(argc, argv);
+  const Defaults d;
+  banner("Ablation: item ordering",
+         "benefit-ratio (paper) vs freq-only vs size-only orders", options);
+
+  const std::vector<std::pair<const char*, ItemOrdering>> orders = {
+      {"br", ItemOrdering::kBenefitRatioDesc},
+      {"freq", ItemOrdering::kFreqDesc},
+      {"size", ItemOrdering::kSizeAsc},
+  };
+
+  AsciiTable table({"phi", "drp(br)", "drp(freq)", "drp(size)", "dp(br)",
+                    "dp(freq)", "dp(size)"});
+  std::vector<std::vector<double>> rows;
+
+  for (double phi : {0.0, 1.0, 2.0, 3.0}) {
+    std::vector<double> cells;
+    for (bool use_dp : {false, true}) {
+      for (const auto& [name, order] : orders) {
+        double total = 0.0;
+        for (std::size_t trial = 0; trial < options.trials; ++trial) {
+          const Database db = generate_database(
+              {.items = d.items, .skewness = d.skewness, .diversity = phi,
+               .seed = 8000 + static_cast<std::uint64_t>(phi * 13) + trial});
+          if (use_dp) {
+            total += ordered_dp_optimal(db, d.channels, order).cost();
+          } else {
+            DrpCdsOptions opt;
+            opt.drp.ordering = order;
+            opt.run_cds = false;
+            total += run_drp_cds(db, d.channels, opt).final_cost;
+          }
+        }
+        cells.push_back(total / static_cast<double>(options.trials));
+      }
+    }
+    table.add_row(std::to_string(phi).substr(0, 3), cells, 3);
+    std::vector<double> csv_row = {phi};
+    csv_row.insert(csv_row.end(), cells.begin(), cells.end());
+    rows.push_back(csv_row);
+  }
+  emit(table, options,
+       {"phi", "drp_br", "drp_freq", "drp_size", "dp_br", "dp_freq", "dp_size"},
+       rows);
+  std::puts("expect: at phi=0 freq ordering ties br (sizes equal); as phi "
+            "grows the br order dominates both raw dimensions — the paper's "
+            "dimension-reduction premise. dp(x) = best possible contiguous "
+            "partition of order x, bounding what any splitter could achieve.");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation: the swap neighborhood on top of CDS. Quantifies how often and by
+// how much pairwise exchanges improve on CDS's single-move local optimum.
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "core/drp.h"
+#include "core/swap.h"
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace dbs;
+  using namespace dbs::bench;
+  const Options options = Options::parse(argc, argv);
+  const Defaults d;
+  banner("Ablation: swap neighborhood",
+         "CDS vs CDS+swaps: final cost, swap count, runtime", options);
+
+  AsciiTable table({"K", "cds cost", "deep cost", "improved runs", "avg swaps",
+                    "cds ms", "deep ms"});
+  std::vector<std::vector<double>> rows;
+  const std::size_t runs = options.quick ? 6 : 20;
+
+  for (ChannelId k = 4; k <= 10; k += 2) {
+    double cds_cost = 0.0, deep_cost = 0.0, swaps = 0.0;
+    double cds_ms = 0.0, deep_ms = 0.0;
+    std::size_t improved = 0;
+    for (std::size_t trial = 0; trial < runs; ++trial) {
+      const Database db = generate_database({.items = d.items, .skewness = d.skewness,
+                                             .diversity = d.diversity,
+                                             .seed = 18000 + k * 31 + trial});
+      Allocation a = run_drp(db, k).allocation;
+      Allocation b = a;
+      Stopwatch w1;
+      run_cds(a);
+      cds_ms += w1.millis();
+      Stopwatch w2;
+      const DeepSearchStats stats = run_cds_with_swaps(b);
+      deep_ms += w2.millis();
+      cds_cost += a.cost();
+      deep_cost += b.cost();
+      swaps += static_cast<double>(stats.swap_steps);
+      if (b.cost() < a.cost() - 1e-9) ++improved;
+    }
+    const auto t = static_cast<double>(runs);
+    table.add_row(std::to_string(k),
+                  {cds_cost / t, deep_cost / t, static_cast<double>(improved),
+                   swaps / t, cds_ms / t, deep_ms / t},
+                  3);
+    rows.push_back({static_cast<double>(k), cds_cost / t, deep_cost / t,
+                    static_cast<double>(improved), swaps / t});
+  }
+  emit(table, options,
+       {"k", "cds_cost", "deep_cost", "improved_runs", "avg_swaps"}, rows);
+  std::puts("expect: swaps improve a minority of runs by a small margin — "
+            "evidence that CDS's single-move optimum is already deep, at a "
+            "fraction of the O(N^2)-per-sweep swap cost.");
+  return 0;
+}

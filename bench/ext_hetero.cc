@@ -1,0 +1,57 @@
+// Extension bench: heterogeneous channel bandwidths. Sweeps the bandwidth
+// spread (all channels share the same total budget) and compares the
+// bandwidth-aware scheduler against bandwidth-blind DRP-CDS.
+#include <cmath>
+#include <cstdio>
+
+#include "common/strings.h"
+#include "core/drp_cds.h"
+#include "harness.h"
+#include "hetero/hetero.h"
+
+int main(int argc, char** argv) {
+  using namespace dbs;
+  using namespace dbs::bench;
+  const Options options = Options::parse(argc, argv);
+  const Defaults d;
+  banner("Extension: heterogeneous bandwidths",
+         "bandwidth-aware scheduling vs bandwidth-blind DRP-CDS", options);
+
+  // Spread r: 6 channels with bandwidths proportional to r^i, normalized to
+  // a total of 60 units/s (so r=1 reproduces the homogeneous b=10 setting).
+  AsciiTable table({"spread", "blind W", "hetero W", "improvement %", "moves"});
+  std::vector<std::vector<double>> rows;
+
+  for (double spread : {1.0, 1.5, 2.0, 3.0}) {
+    double blind_total = 0.0, tuned_total = 0.0, moves = 0.0;
+    for (std::size_t trial = 0; trial < options.trials; ++trial) {
+      const Database db = generate_database({.items = d.items, .skewness = d.skewness,
+                                             .diversity = d.diversity,
+                                             .seed = 14000 + trial});
+      std::vector<double> bw(d.channels);
+      double sum = 0.0;
+      for (ChannelId c = 0; c < d.channels; ++c) {
+        bw[c] = std::pow(spread, static_cast<double>(c));
+        sum += bw[c];
+      }
+      for (double& b : bw) b *= 60.0 / sum;
+
+      const Allocation blind = run_drp_cds(db, d.channels).allocation;
+      blind_total += hetero_wait(blind, bw);
+      const HeteroResult tuned = schedule_hetero(db, bw);
+      tuned_total += tuned.wait;
+      moves += static_cast<double>(tuned.moves);
+    }
+    const auto t = static_cast<double>(options.trials);
+    const double improvement =
+        100.0 * (blind_total - tuned_total) / blind_total;
+    table.add_row(format_fixed(spread, 1),
+                  {blind_total / t, tuned_total / t, improvement, moves / t}, 3);
+    rows.push_back({spread, blind_total / t, tuned_total / t, improvement});
+  }
+  emit(table, options, {"spread", "blind", "hetero", "improvement_pct"}, rows);
+  std::puts("expect: at spread 1.0 the schedulers coincide (homogeneous "
+            "case); the advantage of bandwidth-aware placement grows with "
+            "the spread as hot content must chase fast spectrum.");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Extension bench: on-demand (pull) broadcast scheduling policies (paper
+// reference [2]) against the push-based DRP-CDS program on identical
+// catalogues and request loads.
+#include <cstdio>
+
+#include "common/strings.h"
+#include "core/drp_cds.h"
+#include "harness.h"
+#include "ondemand/server.h"
+#include "sim/simulator.h"
+#include "workload/trace.h"
+
+int main(int argc, char** argv) {
+  using namespace dbs;
+  using namespace dbs::bench;
+  const Options options = Options::parse(argc, argv);
+  const Defaults d;
+  banner("Extension: on-demand policies",
+         "push (DRP-CDS) vs pull policies, mean wait and p95 stretch", options);
+
+  AsciiTable table({"load", "push", "fcfs", "mrf", "lwf", "rxw", "ltsf",
+                    "ltsf p95 stretch", "fcfs p95 stretch"});
+  std::vector<std::vector<double>> rows;
+
+  for (double rate : {2.0, 6.0, 12.0}) {
+    double push_w = 0.0;
+    double pull_w[5] = {0, 0, 0, 0, 0};
+    double ltsf_stretch = 0.0, fcfs_stretch = 0.0;
+    const std::size_t requests = options.quick ? 4000 : 12000;
+    for (std::size_t trial = 0; trial < options.trials; ++trial) {
+      const Database db = generate_database({.items = d.items, .skewness = d.skewness,
+                                             .diversity = d.diversity,
+                                             .seed = 13000 + trial});
+      const auto trace = generate_trace(db, {.requests = requests,
+                                             .arrival_rate = rate,
+                                             .seed = 500 + trial});
+      const Allocation alloc = run_drp_cds(db, d.channels).allocation;
+      push_w += simulate(BroadcastProgram(alloc, d.bandwidth), trace).mean_wait();
+      std::size_t i = 0;
+      for (OnDemandPolicy policy : all_ondemand_policies()) {
+        const OnDemandReport r = run_ondemand(
+            db, trace,
+            {.policy = policy, .channels = d.channels, .bandwidth = d.bandwidth});
+        pull_w[i++] += r.mean_wait();
+        if (policy == OnDemandPolicy::kLtsf) ltsf_stretch += r.stretch.p95;
+        if (policy == OnDemandPolicy::kFcfs) fcfs_stretch += r.stretch.p95;
+      }
+    }
+    const auto t = static_cast<double>(options.trials);
+    table.add_row(format_fixed(rate, 0) + "/s",
+                  {push_w / t, pull_w[0] / t, pull_w[1] / t, pull_w[2] / t,
+                   pull_w[3] / t, pull_w[4] / t, ltsf_stretch / t, fcfs_stretch / t},
+                  3);
+    rows.push_back({rate, push_w / t, pull_w[0] / t, pull_w[1] / t, pull_w[2] / t,
+                    pull_w[3] / t, pull_w[4] / t});
+  }
+  emit(table, options,
+       {"rate", "push", "fcfs", "mrf", "lwf", "rxw", "ltsf"}, rows);
+  std::puts("expect: at light load pull crushes push (items on demand, no "
+            "cycle to wait out); as load grows pull waits rise toward (and "
+            "past) the load-independent push program. Size-aware ltsf keeps "
+            "p95 stretch below fcfs throughout.");
+  return 0;
+}

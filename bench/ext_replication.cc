@@ -1,0 +1,64 @@
+// Extension bench: data replication (paper reference [8]). Quantifies how
+// much greedy replication recovers from different starting allocations and
+// how the gain depends on access skew.
+#include <cstdio>
+
+#include "baselines/flat.h"
+#include "baselines/vfk.h"
+#include "common/strings.h"
+#include "core/drp_cds.h"
+#include "harness.h"
+#include "replication/replicate.h"
+
+int main(int argc, char** argv) {
+  using namespace dbs;
+  using namespace dbs::bench;
+  const Options options = Options::parse(argc, argv);
+  const Defaults d;
+  banner("Extension: replication",
+         "greedy item replication from flat / vfk / drp-cds starts", options);
+
+  AsciiTable table({"theta", "flat", "flat+rep", "vfk", "vfk+rep", "drp-cds",
+                    "drp-cds+rep", "copies(flat)"});
+  std::vector<std::vector<double>> rows;
+  const ReplicationOptions rep{.max_copies_per_item = 3, .max_total_copies = 200};
+
+  for (double theta : {0.4, 0.8, 1.2, 1.6}) {
+    double w[6] = {0, 0, 0, 0, 0, 0};
+    double copies = 0.0;
+    for (std::size_t trial = 0; trial < options.trials; ++trial) {
+      const Database db = generate_database({.items = d.items, .skewness = theta,
+                                             .diversity = d.diversity,
+                                             .seed = 12000 + trial});
+      const Allocation flat = flat_size_balanced(db, d.channels);
+      const Allocation vfk = run_vfk(db, d.channels);
+      const Allocation opt = run_drp_cds(db, d.channels).allocation;
+      const ReplicationResult rf = replicate_greedy(flat, d.bandwidth, rep);
+      const ReplicationResult rv = replicate_greedy(vfk, d.bandwidth, rep);
+      const ReplicationResult ro = replicate_greedy(opt, d.bandwidth, rep);
+      w[0] += rf.base_wait;
+      w[1] += rf.replicated_wait;
+      w[2] += rv.base_wait;
+      w[3] += rv.replicated_wait;
+      w[4] += ro.base_wait;
+      w[5] += ro.replicated_wait;
+      copies += static_cast<double>(rf.copies_added);
+    }
+    const auto t = static_cast<double>(options.trials);
+    table.add_row(format_fixed(theta, 1),
+                  {w[0] / t, w[1] / t, w[2] / t, w[3] / t, w[4] / t, w[5] / t,
+                   copies / t},
+                  3);
+    rows.push_back({theta, w[0] / t, w[1] / t, w[2] / t, w[3] / t, w[4] / t,
+                    w[5] / t});
+  }
+  emit(table, options,
+       {"theta", "flat", "flat_rep", "vfk", "vfk_rep", "drp_cds", "drp_cds_rep"},
+       rows);
+  std::puts("note: waits here use the replication-aware probe model "
+            "(min over copies), so the replicated program of a weak start "
+            "closes much of its gap to DRP-CDS, while replicating DRP-CDS "
+            "itself yields little — cost-optimal programs leave replication "
+            "no slack.");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Robustness bench: does the paper's headline (Figure 4) survive when the
+// item-size family changes? Repeats the VF^K vs DRP-CDS vs GOPT comparison
+// under the paper's uniform-exponent sizes, lognormal sizes (realistic web
+// objects) and a bimodal text/media mix (the intro's motivating catalogue).
+#include <cstdio>
+
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace dbs;
+  using namespace dbs::bench;
+  const Options options = Options::parse(argc, argv);
+  const Defaults d;
+  banner("Extension: size-model robustness",
+         "VF^K / DRP-CDS / GOPT across size families (phi = 2.5)", options);
+
+  const std::vector<std::pair<const char*, SizeModel>> models = {
+      {"uniform-exp", SizeModel::kUniformExponent},
+      {"lognormal", SizeModel::kLognormal},
+      {"bimodal", SizeModel::kBimodal},
+  };
+  const std::vector<Algorithm> algos = {Algorithm::kVfk, Algorithm::kDrpCds,
+                                        Algorithm::kGopt};
+
+  AsciiTable table({"model", "vfk", "drp-cds", "gopt", "vfk/gopt"});
+  std::vector<std::vector<double>> rows;
+  double index = 0.0;
+  for (const auto& [name, model] : models) {
+    std::vector<double> waits(algos.size(), 0.0);
+    for (std::size_t trial = 0; trial < options.trials; ++trial) {
+      WorkloadConfig cfg{.items = d.items, .skewness = d.skewness,
+                         .diversity = 2.5, .seed = 19000 + trial};
+      cfg.size_model = model;
+      const Database db = generate_database(cfg);
+      for (std::size_t a = 0; a < algos.size(); ++a) {
+        waits[a] += measure(db, algos[a], d.channels, d.bandwidth, options.quick,
+                            cfg.seed)
+                        .waiting_time;
+      }
+    }
+    const auto t = static_cast<double>(options.trials);
+    for (double& w : waits) w /= t;
+    table.add_row(name, {waits[0], waits[1], waits[2], waits[0] / waits[2]}, 3);
+    rows.push_back({index++, waits[0], waits[1], waits[2]});
+  }
+  emit(table, options, {"model_index", "vfk", "drp_cds", "gopt"}, rows);
+  std::puts("expect: the diverse-aware algorithms dominate VF^K under every "
+            "size family; the gap is largest for bimodal catalogues, where "
+            "frequency-only allocation routinely pins hot text behind video.");
+  return 0;
+}

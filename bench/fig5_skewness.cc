@@ -1,0 +1,38 @@
+// Figure 5: Zipf skewness θ vs. average waiting time W_b.
+// Series: VF^K, DRP-CDS, GOPT. N=120, K=6, Φ=2, b=10.
+#include <cstdio>
+
+#include "common/strings.h"
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace dbs;
+  using namespace dbs::bench;
+  const Options options = Options::parse(argc, argv);
+  const Defaults d;
+  banner("Figure 5", "skewness parameter theta vs average waiting time W_b", options);
+
+  const std::vector<Algorithm> algos = {Algorithm::kVfk, Algorithm::kDrpCds,
+                                        Algorithm::kGopt};
+  AsciiTable table({"theta", "vfk", "drp-cds", "gopt", "drp-cds - gopt"});
+  std::vector<std::vector<double>> rows;
+
+  for (double theta : {0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6}) {
+    const WorkloadConfig base{.items = d.items, .skewness = theta,
+                              .diversity = d.diversity, .seed = 0};
+    std::vector<double> waits;
+    for (Algorithm a : algos) {
+      waits.push_back(average_over_trials(base, a, d.channels, d.bandwidth, options,
+                                          4000)
+                          .waiting_time);
+    }
+    std::vector<double> cells = waits;
+    cells.push_back(waits[1] - waits[2]);
+    table.add_row(format_fixed(theta, 1), cells, 3);
+    rows.push_back({theta, waits[0], waits[1], waits[2]});
+  }
+  emit(table, options, {"theta", "vfk", "drp_cds", "gopt"}, rows);
+  std::puts("expect: W_b falls as theta grows; the DRP-CDS - GOPT gap shrinks "
+            "toward zero at high skew.");
+  return 0;
+}

@@ -1,0 +1,84 @@
+#include "harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/csv.h"
+
+namespace dbs::bench {
+
+Options Options::parse(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      options.quick = true;
+      options.trials = 2;
+    } else if (arg == "--trials" && i + 1 < argc) {
+      options.trials = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (options.trials == 0) options.trials = 1;
+    } else if (arg == "--csv" && i + 1 < argc) {
+      options.csv_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--trials N] [--csv PATH] [--quick]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+Measurement measure(const Database& db, Algorithm algorithm, ChannelId channels,
+                    double bandwidth, bool quick, std::uint64_t seed) {
+  ScheduleRequest request;
+  request.algorithm = algorithm;
+  request.channels = channels;
+  request.bandwidth = bandwidth;
+  request.gopt.seed = seed;
+  if (quick) {
+    request.gopt.population = 60;
+    request.gopt.generations = 150;
+    request.gopt.stall_generations = 50;
+  }
+  const ScheduleResult result = schedule(db, request);
+  return Measurement{result.waiting_time, result.cost, result.elapsed_ms};
+}
+
+Measurement average_over_trials(const WorkloadConfig& config, Algorithm algorithm,
+                                ChannelId channels, double bandwidth,
+                                const Options& options, std::uint64_t base_seed) {
+  Measurement total;
+  for (std::size_t trial = 0; trial < options.trials; ++trial) {
+    WorkloadConfig cfg = config;
+    cfg.seed = base_seed + trial;
+    const Database db = generate_database(cfg);
+    const Measurement m =
+        measure(db, algorithm, channels, bandwidth, options.quick, cfg.seed);
+    total.waiting_time += m.waiting_time;
+    total.cost += m.cost;
+    total.elapsed_ms += m.elapsed_ms;
+  }
+  const auto n = static_cast<double>(options.trials);
+  return Measurement{total.waiting_time / n, total.cost / n, total.elapsed_ms / n};
+}
+
+void emit(const AsciiTable& table, const Options& options,
+          const std::vector<std::string>& csv_header,
+          const std::vector<std::vector<double>>& csv_rows) {
+  std::fputs(table.render().c_str(), stdout);
+  if (!options.csv_path.empty()) {
+    CsvWriter csv(options.csv_path, csv_header);
+    for (const auto& row : csv_rows) csv.row_values(row);
+    std::printf("csv: wrote %zu rows to %s\n", csv.rows_written(),
+                options.csv_path.c_str());
+  }
+}
+
+void banner(const std::string& figure, const std::string& description,
+            const Options& options) {
+  std::printf("== %s — %s (trials per point: %zu%s) ==\n", figure.c_str(),
+              description.c_str(), options.trials, options.quick ? ", quick" : "");
+}
+
+}  // namespace dbs::bench

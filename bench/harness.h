@@ -1,0 +1,65 @@
+// Shared driver for the figure-reproduction benches. Each bench binary
+// defines one experiment of the paper's §4 and prints the same series the
+// paper plots; this harness supplies option parsing, trial averaging, table
+// rendering and CSV output.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "api/scheduler.h"
+#include "common/table.h"
+#include "model/database.h"
+#include "workload/generator.h"
+
+namespace dbs::bench {
+
+/// Command-line options shared by every figure bench.
+struct Options {
+  std::size_t trials = 8;   ///< seeds averaged per data point
+  std::string csv_path;     ///< empty = no CSV dump
+  bool quick = false;       ///< --quick: 2 trials, reduced GOPT budget
+
+  /// Parses --trials N, --csv PATH, --quick. Unknown flags abort with usage.
+  static Options parse(int argc, char** argv);
+};
+
+/// The paper's default simulation parameters (Table 5 midpoints).
+struct Defaults {
+  std::size_t items = 120;
+  ChannelId channels = 6;
+  double skewness = 0.8;
+  double diversity = 2.0;
+  double bandwidth = 10.0;
+};
+
+/// Measurement of one algorithm on one workload.
+struct Measurement {
+  double waiting_time = 0.0;
+  double cost = 0.0;
+  double elapsed_ms = 0.0;
+};
+
+/// Runs `algorithm` on `db` and reports waiting time / cost / runtime.
+/// GOPT receives a budget scaled down when `quick` is set.
+Measurement measure(const Database& db, Algorithm algorithm, ChannelId channels,
+                    double bandwidth, bool quick, std::uint64_t seed);
+
+/// Averages `measure` over `trials` seeded workloads drawn from `config`
+/// (seed = base_seed + trial).
+Measurement average_over_trials(const WorkloadConfig& config, Algorithm algorithm,
+                                ChannelId channels, double bandwidth,
+                                const Options& options, std::uint64_t base_seed);
+
+/// Emits the table to stdout and, when --csv was given, writes
+/// header+rows to the CSV file.
+void emit(const AsciiTable& table, const Options& options,
+          const std::vector<std::string>& csv_header,
+          const std::vector<std::vector<double>>& csv_rows);
+
+/// Prints the standard bench banner (figure id + sweep description).
+void banner(const std::string& figure, const std::string& description,
+            const Options& options);
+
+}  // namespace dbs::bench

@@ -1,0 +1,51 @@
+// Quality audit against the exact optimum (paper §4's "local optimum is very
+// close to the global optimum" claim): on small instances where the
+// branch-and-bound solver is exact, report each heuristic's mean excess over
+// optimal cost.
+#include <cstdio>
+
+#include "baselines/brute_force.h"
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace dbs;
+  using namespace dbs::bench;
+  Options options = Options::parse(argc, argv);
+  const Defaults d;
+  banner("Quality vs exact optimum",
+         "mean cost excess over brute-force optimum (N=14, K=4)", options);
+
+  const std::vector<Algorithm> algos = {Algorithm::kVfk, Algorithm::kGreedy,
+                                        Algorithm::kDrp, Algorithm::kDrpCds,
+                                        Algorithm::kOrderedDp, Algorithm::kGopt};
+  const std::size_t instances = options.quick ? 5 : 20;
+
+  std::vector<double> excess(algos.size(), 0.0);
+  std::size_t solved = 0;
+  for (std::size_t trial = 0; trial < instances; ++trial) {
+    const Database db = generate_database({.items = 14, .skewness = d.skewness,
+                                           .diversity = d.diversity,
+                                           .seed = 11000 + trial});
+    const auto exact = brute_force_optimal(db, 4);
+    if (!exact.has_value()) continue;
+    ++solved;
+    for (std::size_t a = 0; a < algos.size(); ++a) {
+      const Measurement m = measure(db, algos[a], 4, d.bandwidth, options.quick,
+                                    11000 + trial);
+      excess[a] += (m.cost - exact->cost) / exact->cost;
+    }
+  }
+
+  AsciiTable table({"algorithm", "mean excess over optimal (%)"});
+  std::vector<std::vector<double>> rows;
+  for (std::size_t a = 0; a < algos.size(); ++a) {
+    const double pct = 100.0 * excess[a] / static_cast<double>(solved);
+    table.add_row(std::string(algorithm_name(algos[a])), {pct}, 2);
+    rows.push_back({static_cast<double>(a), pct});
+  }
+  std::printf("instances solved exactly: %zu\n", solved);
+  emit(table, options, {"algorithm_index", "excess_pct"}, rows);
+  std::puts("expect: drp-cds and gopt within a few percent of optimal "
+            "(paper reports ~3% for DRP-CDS); vfk far above on diverse data.");
+  return 0;
+}

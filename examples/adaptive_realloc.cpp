@@ -1,0 +1,56 @@
+// Access-pattern drift: a broadcast server periodically re-learns item
+// popularity and must refresh its channel allocation. Because CDS is a local
+// search, it can *incrementally* repair the previous allocation instead of
+// rebuilding from scratch — usually a handful of moves instead of a full
+// DRP+CDS run, with equal quality.
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "core/cds.h"
+#include "core/drp_cds.h"
+#include "workload/drift.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace dbs;
+  constexpr ChannelId kChannels = 6;
+
+  Rng rng(2026);
+  Database db = generate_database({.items = 150, .skewness = 1.0, .diversity = 2.0,
+                                   .seed = 42});
+  DrpCdsResult current = run_drp_cds(db, kChannels);
+  std::puts("== adaptive_realloc: repairing allocations under popularity drift ==");
+  std::printf("initial DRP-CDS cost: %.3f\n\n", current.final_cost);
+  std::printf("%-6s %14s %14s %12s %14s %14s\n", "epoch", "repair cost",
+              "rebuild cost", "excess(%)", "repair moves", "speedup(x)");
+
+  std::vector<ChannelId> carried = current.allocation.assignment();
+  for (int epoch = 1; epoch <= 8; ++epoch) {
+    db = drift_frequencies(db, rng, {.transfers = 6, .intensity = 0.5});
+
+    // Incremental repair: re-seed CDS with the stale assignment.
+    Stopwatch repair_watch;
+    Allocation repaired(db, kChannels, carried);
+    const CdsStats repair_stats = run_cds(repaired);
+    const double repair_ms = repair_watch.millis();
+
+    // Full rebuild for comparison.
+    Stopwatch rebuild_watch;
+    const DrpCdsResult rebuilt = run_drp_cds(db, kChannels);
+    const double rebuild_ms = rebuild_watch.millis();
+
+    const double excess =
+        100.0 * (repaired.cost() - rebuilt.final_cost) / rebuilt.final_cost;
+    std::printf("%-6d %14.3f %14.3f %12.2f %14zu %14.1f\n", epoch,
+                repaired.cost(), rebuilt.final_cost, excess,
+                repair_stats.iterations,
+                repair_ms > 0.0 ? rebuild_ms / repair_ms : 0.0);
+
+    carried = repaired.assignment();
+  }
+
+  std::puts("\nrepair = re-running CDS from the stale allocation; rebuild = "
+            "full DRP+CDS from scratch. Repair tracks rebuild quality while "
+            "moving only a few items per epoch.");
+  return 0;
+}

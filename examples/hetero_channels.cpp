@@ -1,0 +1,45 @@
+// Heterogeneous channels: the broadcast operator owns a mix of fast and slow
+// channels. Shows the generalized scheduler assigning hot/compact content to
+// fast channels, and quantifies the cost of pretending channels are equal.
+#include <cstdio>
+#include <numeric>
+
+#include "core/drp_cds.h"
+#include "hetero/hetero.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace dbs;
+
+  const Database db = generate_database({.items = 100, .skewness = 1.0,
+                                         .diversity = 2.0, .seed = 11});
+  // Two fast licensed channels, two mid, two slow shared ones.
+  const std::vector<double> bandwidths = {40.0, 40.0, 10.0, 10.0, 2.5, 2.5};
+
+  std::puts("== hetero_channels: 6 channels at 40/40/10/10/2.5/2.5 units/s ==\n");
+
+  // Naive: pretend channels are homogeneous (DRP-CDS), keep its labels.
+  const Allocation naive = run_drp_cds(
+      db, static_cast<ChannelId>(bandwidths.size())).allocation;
+  const double naive_wait = hetero_wait(naive, bandwidths);
+
+  // Heterogeneous-aware two-step scheduler.
+  const HeteroResult tuned = schedule_hetero(db, bandwidths);
+
+  std::printf("bandwidth-blind DRP-CDS : W = %8.3f s\n", naive_wait);
+  std::printf("hetero scheduler        : W = %8.3f s  (%zu fine moves, "
+              "%.1f%% better)\n\n",
+              tuned.wait, tuned.moves, 100.0 * (naive_wait - tuned.wait) / naive_wait);
+
+  std::printf("%-8s %10s %10s %10s %12s\n", "channel", "b", "items", "F", "Z");
+  for (ChannelId c = 0; c < tuned.allocation.channels(); ++c) {
+    std::printf("%-8u %10.1f %10zu %10.3f %12.2f\n", c + 1, bandwidths[c],
+                tuned.allocation.count_of(c), tuned.allocation.freq_of(c),
+                tuned.allocation.size_of(c));
+  }
+
+  std::puts("\nthe scheduler concentrates access probability on the fast "
+            "channels and parks bulky cold objects on slow spectrum; the "
+            "generalized Eq. (4) move rule then polishes to a local optimum.");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Push vs pull: compares the paper's push-based broadcast program against an
+// on-demand (pull-based) server on the same catalogue and request load, and
+// shows how the on-demand scheduling policy matters for diverse item sizes.
+#include <cstdio>
+
+#include "core/drp_cds.h"
+#include "model/cost.h"
+#include "ondemand/server.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace dbs;
+
+  const Database db = generate_database({.items = 80, .skewness = 1.0,
+                                         .diversity = 2.0, .seed = 5});
+  constexpr double kBandwidth = 10.0;
+  constexpr ChannelId kChannels = 4;
+  const auto trace = generate_trace(db, {.requests = 20000, .arrival_rate = 8.0,
+                                         .seed = 17});
+
+  std::puts("== ondemand_vs_push: one catalogue, one request load ==\n");
+
+  // Push: the paper's DRP-CDS program broadcast cyclically.
+  const Allocation alloc = run_drp_cds(db, kChannels).allocation;
+  const BroadcastProgram program(alloc, kBandwidth);
+  const SimReport push = simulate(program, trace);
+  std::printf("%-10s %12s %12s %12s\n", "server", "mean wait", "p95 wait",
+              "broadcasts");
+  std::printf("%-10s %12.3f %12.3f %12s\n", "push", push.waiting.mean,
+              push.waiting.p95, "(cyclic)");
+
+  // Pull: on-demand server with each classic policy, same channel resources.
+  for (OnDemandPolicy policy : all_ondemand_policies()) {
+    const OnDemandReport r = run_ondemand(
+        db, trace, {.policy = policy, .channels = kChannels, .bandwidth = kBandwidth});
+    std::printf("pull-%-5s %12.3f %12.3f %12zu   (mean stretch %.2f)\n",
+                std::string(ondemand_policy_name(policy)).c_str(), r.waiting.mean,
+                r.waiting.p95, r.broadcasts, r.mean_stretch());
+  }
+
+  std::puts("\npush needs no uplink and scales to any audience size; pull "
+            "adapts to the observed demand and skips cold items. With diverse "
+            "sizes, size-aware policies (ltsf) control stretch where fcfs "
+            "lets small hot items starve behind large transfers.");
+  return 0;
+}

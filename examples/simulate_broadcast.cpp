@@ -1,0 +1,57 @@
+// End-to-end simulation demo: schedule a diverse catalogue, put the program
+// "on air" in the discrete-event simulator with tens of thousands of mobile
+// clients, and compare the measured waiting time against the paper's
+// analytic model (Eq. 2) — channel by channel.
+#include <cstdio>
+
+#include "api/scheduler.h"
+#include "model/cost.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+#include "workload/trace.h"
+
+int main() {
+  using namespace dbs;
+
+  const Database db = generate_database({.items = 100, .skewness = 0.9,
+                                         .diversity = 2.0, .seed = 7});
+  constexpr ChannelId kChannels = 5;
+  constexpr double kBandwidth = 10.0;
+
+  ScheduleRequest request;
+  request.algorithm = Algorithm::kDrpCds;
+  request.channels = kChannels;
+  request.bandwidth = kBandwidth;
+  const ScheduleResult scheduled = schedule(db, request);
+
+  std::puts("== simulate_broadcast: DES vs the analytic model ==\n");
+  std::printf("catalogue: N=%zu items, K=%u channels, b=%.0f units/s\n", db.size(),
+              kChannels, kBandwidth);
+  std::printf("DRP-CDS cost=%.3f, analytic W_b=%.3f s\n\n", scheduled.cost,
+              scheduled.waiting_time);
+
+  const BroadcastProgram program(scheduled.allocation, kBandwidth);
+  const auto trace =
+      generate_trace(db, {.requests = 50000, .arrival_rate = 25.0, .seed = 99});
+  const SimReport report = simulate(program, trace);
+
+  std::printf("simulated %zu client requests over %.0f s of air time\n",
+              report.requests_served, report.sim_end_time);
+  std::printf("empirical wait: mean=%.3f  p50=%.3f  p95=%.3f  max=%.3f\n",
+              report.waiting.mean, report.waiting.p50, report.waiting.p95,
+              report.waiting.max);
+  std::printf("analytic  W_b : %.3f  (empirical/analytic = %.3f)\n\n",
+              scheduled.waiting_time, report.mean_wait() / scheduled.waiting_time);
+
+  std::printf("%-8s %10s %12s %14s %14s\n", "channel", "items", "requests",
+              "mean wait", "analytic W(i)");
+  for (ChannelId c = 0; c < kChannels; ++c) {
+    std::printf("%-8u %10zu %12zu %14.3f %14.3f\n", c + 1,
+                scheduled.allocation.count_of(c), report.channel_requests[c],
+                report.channel_mean_wait[c],
+                channel_waiting_time(scheduled.allocation, c, kBandwidth));
+  }
+  std::puts("\nthe empirical means converge on Eq. (1)/(2) as the trace grows — "
+            "the simulator and the cost model validate each other.");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Air indexing extension: (1,m) index interleaving per broadcast channel.
+//
+// The paper's model assumes clients listen continuously from tune-in until
+// their item arrives (tuning time = access latency). Battery-constrained
+// clients instead doze and wake: the classic (1,m) scheme of Imielinski,
+// Viswanathan & Badrinath (reference [11] of the paper) interleaves m copies
+// of an index segment into each cycle so a client can read the next index,
+// sleep until its item's slot, and wake to download.
+//
+// Analytical model used here (derived in DESIGN.md terms; all times in
+// seconds for a channel with data payload D = Z_i/b and index transmission
+// time I = index_size/b):
+//   cycle(m)          = D + m·I
+//   probe-to-index(m) = (D/m + I) / 2        (half the inter-index gap)
+//   post-index wait   = (D + m·I) / 2        (item uniform in the cycle)
+//   access(m)         = probe-to-index + I + post-index wait + z/b
+//   tuning(m)         = header + I + z/b     (doze between index and item)
+// The access-optimal replication factor is m* = √(D/I) (continuous optimum
+// of the m-dependent terms D/(2m) + I·m/2), rounded to the better neighbour.
+#pragma once
+
+#include <cstddef>
+
+#include "model/allocation.h"
+#include "model/item.h"
+
+namespace dbs {
+
+/// Index configuration for one channel.
+struct IndexConfig {
+  double index_size = 1.0;   ///< size units of one full index segment
+  double header_size = 0.05; ///< size units of the per-bucket header clients
+                             ///< must read to locate the next index
+  std::size_t replication = 1;  ///< m — copies of the index per cycle
+};
+
+/// Analytic metrics of an indexed channel.
+struct IndexedChannelMetrics {
+  double cycle_time = 0.0;        ///< (Z_i + m·index_size) / b
+  double expected_access = 0.0;   ///< frequency-weighted access latency
+  double expected_tuning = 0.0;   ///< frequency-weighted tuning time
+};
+
+/// Computes the (1,m) metrics of channel `c` under allocation `alloc`.
+/// Requires a non-empty channel, bandwidth > 0 and replication ≥ 1.
+IndexedChannelMetrics indexed_channel_metrics(const Allocation& alloc, ChannelId c,
+                                              double bandwidth,
+                                              const IndexConfig& config);
+
+/// Access-optimal integer replication factor m* for channel `c`:
+/// √(D/I) rounded to whichever neighbour yields the lower expected access.
+std::size_t optimal_replication(const Allocation& alloc, ChannelId c,
+                                double bandwidth, const IndexConfig& config);
+
+/// Program-wide expected access latency with per-channel optimal m, weighted
+/// by channel aggregate frequency (the indexed analogue of Eq. 2's W_b).
+double indexed_program_access(const Allocation& alloc, double bandwidth,
+                              const IndexConfig& config);
+
+/// Program-wide expected tuning time with per-channel optimal m.
+double indexed_program_tuning(const Allocation& alloc, double bandwidth,
+                              const IndexConfig& config);
+
+}  // namespace dbs

@@ -1,0 +1,81 @@
+// A physical (1,m) indexed broadcast schedule and its selective-tuning
+// client replay. This is the executable counterpart of the analytic model in
+// air/index.h: it lays out real index and data slots on the air and replays
+// dozing clients against them, measuring both access latency and tuning
+// (awake) time per request.
+//
+// Channel cycle layout for replication m over data slots d_1..d_n:
+//   [IDX] d_… [IDX] d_… … — the m index segments are spread so that each is
+// followed by roughly 1/m of the data payload (by transmission time).
+//
+// Client protocol (classic selective tuning):
+//   1. tune in at t, listen to the current bucket's header (header_time) to
+//      learn the next index segment's start — then doze;
+//   2. wake for the index segment (index_time), learn the target item's next
+//      transmission start — then doze;
+//   3. wake exactly at the item's start and stay for the download.
+// Tuning time = header + index + download; access = completion − t.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "air/index.h"
+#include "common/stats.h"
+#include "model/allocation.h"
+#include "workload/trace.h"
+
+namespace dbs {
+
+/// One replayed request's outcome.
+struct IndexedRequestOutcome {
+  double access = 0.0;  ///< completion − tune-in
+  double tuning = 0.0;  ///< time spent listening
+};
+
+/// Aggregate replay report.
+struct IndexedSimReport {
+  std::size_t requests = 0;
+  Summary access;
+  Summary tuning;
+};
+
+/// Concrete (1,m) schedule for every channel of an allocation.
+class IndexedProgram {
+ public:
+  /// Uses config.replication for every channel when `optimal_m` is false,
+  /// otherwise the per-channel √(D/I) optimum from air/index.h.
+  IndexedProgram(const Allocation& alloc, double bandwidth,
+                 const IndexConfig& config, bool optimal_m = false);
+
+  ChannelId channels() const { return static_cast<ChannelId>(cycle_.size()); }
+  double cycle_time(ChannelId c) const;
+  std::size_t replication_of(ChannelId c) const;
+
+  /// Replays one request; see the protocol above.
+  IndexedRequestOutcome replay_request(ItemId item, double t) const;
+
+  /// Replays a whole trace.
+  IndexedSimReport replay(const std::vector<Request>& trace) const;
+
+ private:
+  struct ChannelLayout {
+    std::vector<double> index_starts;  ///< starts of the m index segments
+    std::vector<double> item_starts;   ///< per local item, slot start
+    std::vector<ItemId> items;         ///< local item ids (parallel array)
+  };
+
+  /// Next occurrence ≥ t of a periodic offset within this channel's cycle.
+  static double next_occurrence(double offset, double cycle, double t);
+
+  const Database* db_;
+  double bandwidth_;
+  double index_time_;
+  double header_time_;
+  std::vector<double> cycle_;
+  std::vector<ChannelLayout> layout_;
+  std::vector<ChannelId> item_channel_;
+  std::vector<std::size_t> item_slot_;  ///< index into layout_[c].item_starts
+};
+
+}  // namespace dbs

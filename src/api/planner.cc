@@ -1,0 +1,37 @@
+#include "api/planner.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/check.h"
+
+namespace dbs {
+
+PlanResult plan_channel_count(const Database& db, double total_bandwidth,
+                              ChannelId max_channels, Algorithm algorithm) {
+  DBS_CHECK(total_bandwidth > 0.0);
+  DBS_CHECK(max_channels >= 1);
+  const ChannelId limit =
+      std::min<ChannelId>(max_channels, static_cast<ChannelId>(db.size()));
+
+  std::optional<ScheduleResult> best;
+  ChannelId best_k = 1;
+  std::vector<PlanPoint> sweep;
+  sweep.reserve(limit);
+
+  for (ChannelId k = 1; k <= limit; ++k) {
+    ScheduleRequest request;
+    request.algorithm = algorithm;
+    request.channels = k;
+    request.bandwidth = total_bandwidth / static_cast<double>(k);
+    ScheduleResult result = schedule(db, request);
+    sweep.push_back(PlanPoint{k, request.bandwidth, result.waiting_time});
+    if (!best.has_value() || result.waiting_time < best->waiting_time) {
+      best = std::move(result);
+      best_k = k;
+    }
+  }
+  return PlanResult{std::move(*best), best_k, std::move(sweep)};
+}
+
+}  // namespace dbs

@@ -1,0 +1,102 @@
+#include "api/scheduler.h"
+
+#include <stdexcept>
+
+#include "baselines/brute_force.h"
+#include "baselines/flat.h"
+#include "baselines/greedy.h"
+#include "baselines/ordered_dp.h"
+#include "baselines/vfk.h"
+#include "common/stopwatch.h"
+#include "model/cost.h"
+
+namespace dbs {
+
+const std::vector<AlgorithmInfo>& all_algorithms() {
+  static const std::vector<AlgorithmInfo> kRegistry = {
+      {Algorithm::kFlat, "flat", "round-robin flat program", false},
+      {Algorithm::kFlatBalanced, "flat-balanced", "size-balanced flat program", false},
+      {Algorithm::kGreedy, "greedy", "best-channel insertion in br order", false},
+      {Algorithm::kVfk, "vfk", "conventional frequency-only VF^K", false},
+      {Algorithm::kDrp, "drp", "dimension reduction partitioning", false},
+      {Algorithm::kDrpCds, "drp-cds", "DRP refined by cost-diminishing selection",
+       false},
+      {Algorithm::kOrderedDp, "ordered-dp",
+       "optimal contiguous partition of the br order", false},
+      {Algorithm::kGopt, "gopt", "genetic near-global optimum", false},
+      {Algorithm::kAnneal, "anneal", "simulated annealing over Eq. (4) moves", false},
+      {Algorithm::kBruteForce, "brute-force", "exact optimum (small N only)", true},
+  };
+  return kRegistry;
+}
+
+std::optional<Algorithm> algorithm_from_name(std::string_view name) {
+  for (const AlgorithmInfo& info : all_algorithms()) {
+    if (info.name == name) return info.id;
+  }
+  return std::nullopt;
+}
+
+std::string_view algorithm_name(Algorithm algorithm) {
+  for (const AlgorithmInfo& info : all_algorithms()) {
+    if (info.id == algorithm) return info.name;
+  }
+  return "unknown";
+}
+
+ScheduleResult schedule(const Database& db, const ScheduleRequest& request) {
+  Stopwatch watch;
+  std::optional<Allocation> alloc;
+
+  switch (request.algorithm) {
+    case Algorithm::kFlat:
+      alloc = flat_round_robin(db, request.channels);
+      break;
+    case Algorithm::kFlatBalanced:
+      alloc = flat_size_balanced(db, request.channels);
+      break;
+    case Algorithm::kGreedy:
+      alloc = greedy_insertion(db, request.channels);
+      break;
+    case Algorithm::kVfk:
+      alloc = run_vfk(db, request.channels);
+      break;
+    case Algorithm::kDrp: {
+      DrpCdsOptions options = request.drp_cds;
+      options.run_cds = false;
+      alloc = run_drp_cds(db, request.channels, options).allocation;
+      break;
+    }
+    case Algorithm::kDrpCds: {
+      DrpCdsOptions options = request.drp_cds;
+      options.run_cds = true;
+      alloc = run_drp_cds(db, request.channels, options).allocation;
+      break;
+    }
+    case Algorithm::kOrderedDp:
+      alloc = ordered_dp_optimal(db, request.channels);
+      break;
+    case Algorithm::kGopt:
+      alloc = run_gopt(db, request.channels, request.gopt).allocation;
+      break;
+    case Algorithm::kAnneal:
+      alloc = run_annealing(db, request.channels, request.anneal).allocation;
+      break;
+    case Algorithm::kBruteForce: {
+      auto exact = brute_force_optimal(db, request.channels);
+      if (!exact.has_value()) {
+        throw std::runtime_error("brute-force search exceeded its node budget");
+      }
+      alloc = std::move(exact->allocation);
+      break;
+    }
+  }
+
+  const double elapsed_ms = watch.millis();
+  ScheduleResult result{std::move(*alloc), 0.0, 0.0, elapsed_ms};
+  result.cost = result.allocation.cost();
+  result.waiting_time = program_waiting_time(result.allocation, request.bandwidth);
+  return result;
+}
+
+}  // namespace dbs

@@ -1,0 +1,73 @@
+// High-level facade: pick an algorithm by name or id, run it, and collect
+// cost / waiting-time / runtime in one record. This is the entry point the
+// examples and the figure-reproduction benches use.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baselines/annealing.h"
+#include "baselines/gopt.h"
+#include "core/drp_cds.h"
+#include "model/allocation.h"
+#include "model/database.h"
+
+namespace dbs {
+
+/// Every channel-allocation algorithm the library ships.
+enum class Algorithm {
+  kFlat,          ///< round-robin, ignores f and z
+  kFlatBalanced,  ///< size-balanced flat program
+  kGreedy,        ///< best-channel insertion in br order
+  kVfk,           ///< conventional frequency-only VF^K (paper baseline)
+  kDrp,           ///< paper's rough allocation
+  kDrpCds,        ///< paper's full two-step scheme
+  kOrderedDp,     ///< optimal contiguous partition of the br order
+  kGopt,          ///< genetic near-global-optimum (paper baseline)
+  kAnneal,        ///< simulated-annealing metaheuristic
+  kBruteForce,    ///< exact optimum, small N only
+};
+
+/// Metadata for algorithm discovery (used by examples to enumerate).
+struct AlgorithmInfo {
+  Algorithm id;
+  std::string_view name;      ///< stable CLI/CSV name, e.g. "drp-cds"
+  std::string_view summary;   ///< one-line description
+  bool exponential = false;   ///< true for BruteForce
+};
+
+/// All registered algorithms in presentation order.
+const std::vector<AlgorithmInfo>& all_algorithms();
+
+/// Name → algorithm lookup ("drp-cds", "vfk", ...). Nullopt when unknown.
+std::optional<Algorithm> algorithm_from_name(std::string_view name);
+
+/// Algorithm → stable name.
+std::string_view algorithm_name(Algorithm algorithm);
+
+/// Request: which algorithm, how many channels, and tuning knobs for the
+/// algorithms that have them.
+struct ScheduleRequest {
+  Algorithm algorithm = Algorithm::kDrpCds;
+  ChannelId channels = 4;
+  double bandwidth = 10.0;  ///< for the reported waiting time (paper Table 5)
+  DrpCdsOptions drp_cds;    ///< used by kDrp / kDrpCds
+  GoptOptions gopt;         ///< used by kGopt
+  AnnealOptions anneal;     ///< used by kAnneal
+};
+
+/// Result: the allocation plus the headline metrics.
+struct ScheduleResult {
+  Allocation allocation;
+  double cost = 0.0;          ///< Σ F_i·Z_i (Eq. 3)
+  double waiting_time = 0.0;  ///< W_b (Eq. 2) at the requested bandwidth
+  double elapsed_ms = 0.0;    ///< wall-clock runtime of the algorithm proper
+};
+
+/// Runs the requested algorithm. Throws ContractViolation on invalid input
+/// (e.g. K > N) and std::runtime_error if BruteForce exceeds its node budget.
+ScheduleResult schedule(const Database& db, const ScheduleRequest& request);
+
+}  // namespace dbs

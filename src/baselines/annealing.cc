@@ -1,0 +1,64 @@
+#include "baselines/annealing.h"
+
+#include <cmath>
+
+#include "baselines/greedy.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace dbs {
+
+AnnealResult run_annealing(const Database& db, ChannelId channels,
+                           const AnnealOptions& options) {
+  const std::size_t n = db.size();
+  DBS_CHECK(channels >= 1);
+  DBS_CHECK_MSG(channels <= n, "cannot fill more channels than items");
+  DBS_CHECK(options.initial_temperature > 0.0);
+  DBS_CHECK(options.cooling > 0.0 && options.cooling <= 1.0);
+
+  Rng rng(options.seed);
+
+  Allocation current = options.start_from_greedy
+                           ? greedy_insertion(db, channels)
+                           : [&] {
+                               std::vector<ChannelId> genes(n);
+                               for (auto& g : genes) {
+                                 g = static_cast<ChannelId>(rng.below(channels));
+                               }
+                               return Allocation(db, channels, std::move(genes));
+                             }();
+
+  double current_cost = current.cost();
+  Allocation best = current;
+  double best_cost = current_cost;
+  double temperature = options.initial_temperature * current_cost;
+  std::size_t accepted = 0;
+
+  for (std::size_t step = 0; step < options.steps && channels > 1; ++step) {
+    const ItemId item = static_cast<ItemId>(rng.below(n));
+    // Propose a different channel (channels ≥ 2 here).
+    ChannelId to = static_cast<ChannelId>(rng.below(channels - 1));
+    if (to >= current.channel_of(item)) ++to;
+
+    const double gain = current.move_gain(item, to);  // positive = downhill
+    const bool accept =
+        gain >= 0.0 ||
+        (temperature > 0.0 && rng.uniform01() < std::exp(gain / temperature));
+    if (accept) {
+      current.move(item, to);
+      current_cost -= gain;
+      ++accepted;
+      if (current_cost < best_cost) {
+        best = current;
+        best_cost = current_cost;
+      }
+    }
+    temperature *= options.cooling;
+  }
+
+  // Re-derive the exact cost to shed any accumulated float drift.
+  best_cost = best.cost();
+  return AnnealResult{std::move(best), best_cost, accepted};
+}
+
+}  // namespace dbs

@@ -1,0 +1,125 @@
+#include "baselines/brute_force.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace dbs {
+namespace {
+
+/// Depth-first enumeration with symmetry breaking: item at depth d may use
+/// channels 0..min(used, K−1), so each set partition is visited once.
+/// Pruning: the incremental cost of placing remaining item x anywhere is at
+/// least f_x·z_x (placing it alone), so
+///   lower_bound = partial_cost + Σ_{remaining} f_x z_x.
+class Searcher {
+ public:
+  Searcher(const Database& db, ChannelId channels, const BruteForceLimits& limits)
+      : db_(db), channels_(channels), limits_(limits) {
+    // Assign high-impact items first: larger f·z fixes more cost early and
+    // tightens the bound sooner.
+    order_.resize(db.size());
+    std::iota(order_.begin(), order_.end(), 0);
+    std::stable_sort(order_.begin(), order_.end(), [&db](ItemId a, ItemId b) {
+      const double wa = db.item(a).freq * db.item(a).size;
+      const double wb = db.item(b).freq * db.item(b).size;
+      if (wa != wb) return wa > wb;
+      return a < b;
+    });
+    suffix_weight_.assign(db.size() + 1, 0.0);
+    for (std::size_t i = db.size(); i > 0; --i) {
+      const Item& it = db.item(order_[i - 1]);
+      suffix_weight_[i - 1] = suffix_weight_[i] + it.freq * it.size;
+    }
+    freq_.assign(channels, 0.0);
+    size_.assign(channels, 0.0);
+    current_.assign(db.size(), 0);
+    best_assignment_.assign(db.size(), 0);
+  }
+
+  bool run() {
+    best_cost_ = greedy_upper_bound();
+    dfs(0, 0, 0.0);
+    return nodes_ <= limits_.max_nodes;
+  }
+
+  const std::vector<ChannelId>& best_assignment() const { return best_assignment_; }
+  double best_cost() const { return best_cost_; }
+  std::uint64_t nodes() const { return nodes_; }
+
+ private:
+  /// Seeds the incumbent with greedy insertion so pruning bites immediately.
+  double greedy_upper_bound() {
+    std::vector<double> f(channels_, 0.0), z(channels_, 0.0);
+    for (std::size_t depth = 0; depth < order_.size(); ++depth) {
+      const Item& it = db_.item(order_[depth]);
+      ChannelId best = 0;
+      double best_delta = 0.0;
+      for (ChannelId c = 0; c < channels_; ++c) {
+        const double delta = it.freq * z[c] + it.size * f[c] + it.freq * it.size;
+        if (c == 0 || delta < best_delta) {
+          best = c;
+          best_delta = delta;
+        }
+      }
+      f[best] += it.freq;
+      z[best] += it.size;
+      best_assignment_[order_[depth]] = best;
+    }
+    double cost = 0.0;
+    for (ChannelId c = 0; c < channels_; ++c) cost += f[c] * z[c];
+    return cost;
+  }
+
+  void dfs(std::size_t depth, ChannelId used, double partial_cost) {
+    if (nodes_ > limits_.max_nodes) return;
+    ++nodes_;
+    if (partial_cost + suffix_weight_[depth] >= best_cost_) return;
+    if (depth == order_.size()) {
+      best_cost_ = partial_cost;
+      for (std::size_t i = 0; i < current_.size(); ++i) {
+        best_assignment_[order_[i]] = current_[i];
+      }
+      return;
+    }
+    const Item& it = db_.item(order_[depth]);
+    const ChannelId limit = std::min<ChannelId>(channels_ - 1, used);
+    for (ChannelId c = 0; c <= limit; ++c) {
+      const double delta = it.freq * size_[c] + it.size * freq_[c] + it.freq * it.size;
+      freq_[c] += it.freq;
+      size_[c] += it.size;
+      current_[depth] = c;
+      dfs(depth + 1, std::max<ChannelId>(used, c + 1), partial_cost + delta);
+      freq_[c] -= it.freq;
+      size_[c] -= it.size;
+    }
+  }
+
+  const Database& db_;
+  const ChannelId channels_;
+  const BruteForceLimits limits_;
+  std::vector<ItemId> order_;
+  std::vector<double> suffix_weight_;
+  std::vector<double> freq_, size_;
+  std::vector<ChannelId> current_;
+  std::vector<ChannelId> best_assignment_;
+  double best_cost_ = 0.0;
+  std::uint64_t nodes_ = 0;
+};
+
+}  // namespace
+
+std::optional<BruteForceResult> brute_force_optimal(const Database& db,
+                                                    ChannelId channels,
+                                                    const BruteForceLimits& limits) {
+  DBS_CHECK(channels >= 1);
+  DBS_CHECK_MSG(channels <= db.size(), "cannot fill more channels than items");
+  Searcher searcher(db, channels, limits);
+  const bool complete = searcher.run();
+  if (!complete) return std::nullopt;
+  Allocation alloc(db, channels, searcher.best_assignment());
+  return BruteForceResult{std::move(alloc), searcher.best_cost(), searcher.nodes()};
+}
+
+}  // namespace dbs

@@ -1,0 +1,36 @@
+// Exact global optimum by branch-and-bound enumeration of set partitions.
+// Exponential — only feasible for small databases (N ≲ 18); used by tests to
+// certify that the heuristics' "local optimum is close to the global optimum"
+// claim holds, and by the small-N quality benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "model/allocation.h"
+#include "model/database.h"
+
+namespace dbs {
+
+/// Search limits for the exact solver.
+struct BruteForceLimits {
+  /// Abort (return nullopt) after visiting this many search nodes.
+  std::uint64_t max_nodes = 200'000'000;
+};
+
+/// Result of an exact search.
+struct BruteForceResult {
+  Allocation allocation;
+  double cost = 0.0;
+  std::uint64_t nodes_visited = 0;
+};
+
+/// Finds a minimum-cost partition of the database into at most `channels`
+/// groups (empty channels cost nothing, so "at most" and "exactly" have the
+/// same optimum value whenever K ≤ N). Channel indices are canonicalized in
+/// first-use order. Returns nullopt if the node budget is exhausted.
+std::optional<BruteForceResult> brute_force_optimal(
+    const Database& db, ChannelId channels, const BruteForceLimits& limits = {});
+
+}  // namespace dbs

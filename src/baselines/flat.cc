@@ -1,0 +1,39 @@
+#include "baselines/flat.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace dbs {
+
+Allocation flat_round_robin(const Database& db, ChannelId channels) {
+  DBS_CHECK(channels >= 1);
+  std::vector<ChannelId> assignment(db.size());
+  for (ItemId id = 0; id < db.size(); ++id) {
+    assignment[id] = static_cast<ChannelId>(id % channels);
+  }
+  return Allocation(db, channels, std::move(assignment));
+}
+
+Allocation flat_size_balanced(const Database& db, ChannelId channels) {
+  DBS_CHECK(channels >= 1);
+  std::vector<ItemId> ids(db.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  std::stable_sort(ids.begin(), ids.end(), [&db](ItemId a, ItemId b) {
+    if (db.item(a).size != db.item(b).size) return db.item(a).size > db.item(b).size;
+    return a < b;
+  });
+
+  std::vector<double> load(channels, 0.0);
+  std::vector<ChannelId> assignment(db.size(), 0);
+  for (ItemId id : ids) {
+    const auto lightest = static_cast<ChannelId>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    assignment[id] = lightest;
+    load[lightest] += db.item(id).size;
+  }
+  return Allocation(db, channels, std::move(assignment));
+}
+
+}  // namespace dbs

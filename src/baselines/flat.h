@@ -1,0 +1,19 @@
+// Flat broadcast programs: the naive allocations the paper's introduction
+// dismisses, kept as the floor every real algorithm must beat.
+#pragma once
+
+#include "model/allocation.h"
+#include "model/database.h"
+
+namespace dbs {
+
+/// Round-robin in item-id order: item i goes to channel i mod K. Ignores
+/// both frequency and size.
+Allocation flat_round_robin(const Database& db, ChannelId channels);
+
+/// Size-balanced flat program: items in size-descending order, each placed on
+/// the channel with the smallest aggregate size so far (LPT makespan rule).
+/// Equalizes broadcast cycles but still ignores access frequencies.
+Allocation flat_size_balanced(const Database& db, ChannelId channels);
+
+}  // namespace dbs

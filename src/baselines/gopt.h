@@ -1,0 +1,54 @@
+// Algorithm GOPT — the paper's global-optimum reference, implemented with a
+// generational Genetic Algorithm (the paper cites Goldberg 1989 / Holland
+// 1975 and omits details "for interest of space").
+//
+// Chromosome: an assignment vector of length N with gene values in 0..K−1.
+// The paper notes exactly this encoding when explaining why GOPT's execution
+// time is more sensitive to N (chromosome length) than to K (gene alphabet).
+// Fitness is the reciprocal of the cost function (Eq. 3). Selection is
+// tournament-based; crossover mixes one-point and uniform operators; mutation
+// re-draws single genes; the best individuals survive unchanged (elitism).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "model/allocation.h"
+#include "model/database.h"
+
+namespace dbs {
+
+/// GA hyper-parameters. Defaults are sized so that on the paper's workloads
+/// (N ≤ 180, K ≤ 10) GOPT matches the exact optimum on small instances while
+/// remaining orders of magnitude slower than DRP-CDS — the paper's trade-off.
+struct GoptOptions {
+  std::size_t population = 120;
+  std::size_t generations = 600;
+  std::size_t tournament = 3;       ///< tournament size for parent selection
+  double crossover_rate = 0.9;      ///< probability a pair is crossed over
+  double uniform_crossover = 0.5;   ///< share of crossovers that are uniform
+  double mutation_rate = 0.02;      ///< per-gene reassignment probability
+  std::size_t elites = 2;           ///< individuals copied unchanged
+  std::size_t stall_generations = 150;  ///< early stop if no improvement
+  bool seed_with_heuristics = true; ///< inject DRP-CDS/greedy seeds (memetic start)
+  bool local_search_final = true;   ///< polish the best individual with CDS
+  std::size_t polish_interval = 40; ///< every k generations, CDS-polish the
+                                    ///< current best and reinsert (0 = never);
+                                    ///< lets the GA escape local optima that
+                                    ///< crossover alone cannot leave
+  std::uint64_t seed = 42;
+};
+
+/// GOPT run record.
+struct GoptResult {
+  Allocation allocation;
+  double cost = 0.0;
+  std::size_t generations_run = 0;
+  std::uint64_t evaluations = 0;  ///< number of fitness evaluations performed
+};
+
+/// Runs the genetic search. Requires 1 ≤ K ≤ N.
+GoptResult run_gopt(const Database& db, ChannelId channels,
+                    const GoptOptions& options = {});
+
+}  // namespace dbs

@@ -1,0 +1,31 @@
+#include "baselines/greedy.h"
+
+#include "common/check.h"
+
+namespace dbs {
+
+Allocation greedy_insertion(const Database& db, ChannelId channels) {
+  DBS_CHECK(channels >= 1);
+  std::vector<double> freq(channels, 0.0);
+  std::vector<double> size(channels, 0.0);
+  std::vector<ChannelId> assignment(db.size(), 0);
+
+  for (ItemId id : db.ids_by_benefit_ratio_desc()) {
+    const Item& it = db.item(id);
+    ChannelId best = 0;
+    double best_delta = 0.0;
+    for (ChannelId c = 0; c < channels; ++c) {
+      const double delta = it.freq * size[c] + it.size * freq[c] + it.freq * it.size;
+      if (c == 0 || delta < best_delta) {
+        best = c;
+        best_delta = delta;
+      }
+    }
+    assignment[id] = best;
+    freq[best] += it.freq;
+    size[best] += it.size;
+  }
+  return Allocation(db, channels, std::move(assignment));
+}
+
+}  // namespace dbs

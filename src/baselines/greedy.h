@@ -1,0 +1,15 @@
+// Greedy best-channel insertion: a simple cost-aware heuristic used as an
+// intermediate baseline between Flat and DRP.
+#pragma once
+
+#include "model/allocation.h"
+#include "model/database.h"
+
+namespace dbs {
+
+/// Inserts items in benefit-ratio-descending order, each onto the channel
+/// where it increases total cost the least. Adding item (f, z) to channel c
+/// raises cost by f·Z_c + z·F_c + f·z, so the scan is O(N·K).
+Allocation greedy_insertion(const Database& db, ChannelId channels);
+
+}  // namespace dbs

@@ -1,0 +1,69 @@
+#include "baselines/ordered_dp.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+#include "core/partition.h"
+
+namespace dbs {
+
+Allocation ordered_dp_optimal(const Database& db, ChannelId channels,
+                              ItemOrdering ordering) {
+  const std::size_t n = db.size();
+  DBS_CHECK(channels >= 1);
+  DBS_CHECK_MSG(channels <= n, "cannot fill more channels than items");
+
+  std::vector<ItemId> order;
+  switch (ordering) {
+    case ItemOrdering::kBenefitRatioDesc:
+      order = db.ids_by_benefit_ratio_desc();
+      break;
+    case ItemOrdering::kFreqDesc:
+      order = db.ids_by_freq_desc();
+      break;
+    case ItemOrdering::kSizeAsc: {
+      order.resize(n);
+      std::iota(order.begin(), order.end(), 0);
+      std::stable_sort(order.begin(), order.end(), [&db](ItemId a, ItemId b) {
+        if (db.item(a).size != db.item(b).size) return db.item(a).size < db.item(b).size;
+        return a < b;
+      });
+      break;
+    }
+  }
+
+  const PrefixSums sums(db, order);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> dp(channels + 1, std::vector<double>(n + 1, kInf));
+  std::vector<std::vector<std::size_t>> cut(channels + 1,
+                                            std::vector<std::size_t>(n + 1, 0));
+  dp[0][0] = 0.0;
+  for (ChannelId k = 1; k <= channels; ++k) {
+    for (std::size_t i = k; i <= n; ++i) {
+      for (std::size_t j = k - 1; j < i; ++j) {
+        if (dp[k - 1][j] == kInf) continue;
+        const double candidate = dp[k - 1][j] + sums.cost_of(j, i);
+        if (candidate < dp[k][i]) {
+          dp[k][i] = candidate;
+          cut[k][i] = j;
+        }
+      }
+    }
+  }
+
+  std::vector<ChannelId> assignment(n, 0);
+  std::size_t end = n;
+  for (ChannelId k = channels; k >= 1; --k) {
+    const std::size_t begin = cut[k][end];
+    for (std::size_t i = begin; i < end; ++i) {
+      assignment[order[i]] = static_cast<ChannelId>(k - 1);
+    }
+    end = begin;
+  }
+  DBS_CHECK(end == 0);
+  return Allocation(db, channels, std::move(assignment));
+}
+
+}  // namespace dbs

@@ -1,0 +1,22 @@
+// Optimal contiguous partition under the true diverse cost function.
+//
+// DRP restricts itself to contiguous groups of the benefit-ratio order and
+// finds them greedily (top-down splitting). This DP computes the *best
+// possible* contiguous partition of the same order, so it bounds from below
+// what any split strategy operating on that order can achieve — the natural
+// quality yardstick for the DRP ablations.
+#pragma once
+
+#include "core/drp.h"
+#include "model/allocation.h"
+#include "model/database.h"
+
+namespace dbs {
+
+/// Exact minimum-cost partition of the items into K contiguous runs of the
+/// given ordering (default: the paper's benefit-ratio order), minimizing the
+/// true objective Σ_i F_i·Z_i. O(K·N²) time, O(K·N) space.
+Allocation ordered_dp_optimal(const Database& db, ChannelId channels,
+                              ItemOrdering ordering = ItemOrdering::kBenefitRatioDesc);
+
+}  // namespace dbs

@@ -1,0 +1,54 @@
+// Contract-checking macros used across the library.
+//
+// DBS_CHECK   — precondition / invariant check, always on. Violations throw
+//               dbs::ContractViolation; broadcast scheduling inputs come from
+//               user-supplied catalogues, so they must be validated even in
+//               release builds.
+// DBS_ASSERT  — internal sanity check, compiled out in NDEBUG builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dbs {
+
+/// Thrown when a DBS_CHECK contract fails. Carries the failing expression,
+/// source location and an optional caller-supplied message.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail_check(const char* expr, const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violation: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace detail
+}  // namespace dbs
+
+#define DBS_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) ::dbs::detail::fail_check(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define DBS_CHECK_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream dbs_check_os_;                                \
+      dbs_check_os_ << msg;                                            \
+      ::dbs::detail::fail_check(#expr, __FILE__, __LINE__, dbs_check_os_.str()); \
+    }                                                                  \
+  } while (false)
+
+#ifdef NDEBUG
+#define DBS_ASSERT(expr) ((void)0)
+#else
+#define DBS_ASSERT(expr) DBS_CHECK(expr)
+#endif

@@ -1,0 +1,53 @@
+#include "common/csv.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace dbs {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  DBS_CHECK(!header.empty());
+  write_line(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  DBS_CHECK_MSG(fields.size() == columns_,
+                "CSV row has " << fields.size() << " fields, header has " << columns_);
+  write_line(fields);
+  ++rows_;
+}
+
+void CsvWriter::row_values(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) fields.push_back(format_double(v));
+  row(fields);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_line(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace dbs

@@ -1,0 +1,37 @@
+// Minimal CSV writer for experiment output. Fields containing separators,
+// quotes or newlines are quoted per RFC 4180.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dbs {
+
+/// Streams rows to a CSV file. The header is written on construction.
+/// Throws std::runtime_error if the file cannot be opened.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Writes one row; the field count must match the header.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with full round-trip precision.
+  void row_values(const std::vector<double>& values);
+
+  /// Number of data rows written so far.
+  std::size_t rows_written() const { return rows_; }
+
+  /// Quotes a single field per RFC 4180 (exposed for testing).
+  static std::string escape(const std::string& field);
+
+ private:
+  void write_line(const std::vector<std::string>& fields);
+
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace dbs

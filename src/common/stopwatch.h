@@ -1,0 +1,30 @@
+// Monotonic wall-clock stopwatch for the execution-time experiments
+// (paper Figures 6 and 7).
+#pragma once
+
+#include <chrono>
+
+namespace dbs {
+
+/// Steady-clock stopwatch. Starts on construction; restart with reset().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Restarts timing from now.
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction / last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds (the unit the paper reports).
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace dbs

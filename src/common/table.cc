@@ -1,0 +1,54 @@
+#include "common/table.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace dbs {
+
+AsciiTable::AsciiTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  cells.resize(std::max(cells.size(), header_.size()));
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::add_row(const std::string& label, const std::vector<double>& values,
+                         int places) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(format_fixed(v, places));
+  add_row(std::move(cells));
+}
+
+std::string AsciiTable::render() const {
+  const std::size_t cols = header_.size();
+  std::vector<std::size_t> width(cols, 0);
+  for (std::size_t c = 0; c < cols; ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < cols && c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      if (c != 0) line += "  ";
+      line += c == 0 ? pad_right(cell, width[c]) : pad_left(cell, width[c]);
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(header_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < cols; ++c) rule += width[c] + (c != 0 ? 2 : 0);
+  out += std::string(rule, '-') + '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+}  // namespace dbs

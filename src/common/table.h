@@ -1,0 +1,34 @@
+// ASCII table renderer used by the figure-reproduction benches to print the
+// paper's series in a readable grid.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dbs {
+
+/// Collects rows of string cells and renders an aligned ASCII table.
+/// Numeric columns are right-aligned; the first column is left-aligned.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Appends a row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: first cell is a label, remaining cells are fixed-precision
+  /// doubles.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int places = 3);
+
+  /// Renders the full table including a rule under the header.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dbs

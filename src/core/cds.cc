@@ -1,0 +1,163 @@
+#include "core/cds.h"
+
+#include "common/check.h"
+
+namespace dbs {
+
+CdsMove best_move(const Allocation& alloc) {
+  CdsMove best;
+  best.gain = 0.0;
+  bool have = false;
+  const std::size_t n = alloc.items();
+  const ChannelId k = alloc.channels();
+  for (ItemId x = 0; x < n; ++x) {
+    const ChannelId p = alloc.channel_of(x);
+    for (ChannelId q = 0; q < k; ++q) {
+      if (q == p) continue;
+      const double gain = alloc.move_gain(x, q);
+      if (!have || gain > best.gain) {
+        have = true;
+        best = CdsMove{x, p, q, gain};
+      }
+    }
+  }
+  return best;
+}
+
+namespace {
+
+/// First strictly-improving move in (item, channel) scan order, or a move
+/// with gain 0 when none improves.
+CdsMove first_improving_move(const Allocation& alloc, double min_gain) {
+  const std::size_t n = alloc.items();
+  const ChannelId k = alloc.channels();
+  for (ItemId x = 0; x < n; ++x) {
+    const ChannelId p = alloc.channel_of(x);
+    for (ChannelId q = 0; q < k; ++q) {
+      if (q == p) continue;
+      const double gain = alloc.move_gain(x, q);
+      if (gain > min_gain) return CdsMove{x, p, q, gain};
+    }
+  }
+  return CdsMove{};
+}
+
+/// Best-improvement loop with a per-item best-move cache. After a move
+/// p→q, only three kinds of cache entries can be stale: items living on p or
+/// q (all their gains changed), items whose cached best target was p or q
+/// (that target's aggregates changed), and every item's gain *toward* p and
+/// q (folded in by a 3-way max against the untouched cached entry). The
+/// tie-breaking (smallest target channel, then smallest item id) matches the
+/// full scan exactly, so both engines produce identical move sequences.
+class IndexedCds {
+ public:
+  explicit IndexedCds(Allocation& alloc) : alloc_(alloc), cache_(alloc.items()) {
+    for (ItemId x = 0; x < alloc_.items(); ++x) recompute(x);
+  }
+
+  CdsMove best() const {
+    CdsMove move;
+    bool have = false;
+    for (ItemId x = 0; x < alloc_.items(); ++x) {
+      if (!have || cache_[x].gain > move.gain) {
+        have = true;
+        move = CdsMove{x, alloc_.channel_of(x), cache_[x].to, cache_[x].gain};
+      }
+    }
+    return move;
+  }
+
+  void apply(const CdsMove& move) {
+    alloc_.move(move.item, move.to);
+    repair(move.from, move.to);
+  }
+
+ private:
+  struct Entry {
+    double gain = 0.0;
+    ChannelId to = 0;
+  };
+
+  void recompute(ItemId x) {
+    const ChannelId p = alloc_.channel_of(x);
+    Entry entry;
+    bool have = false;
+    for (ChannelId q = 0; q < alloc_.channels(); ++q) {
+      if (q == p) continue;
+      const double gain = alloc_.move_gain(x, q);
+      if (!have || gain > entry.gain) {
+        have = true;
+        entry = Entry{gain, q};
+      }
+    }
+    cache_[x] = entry;
+  }
+
+  void repair(ChannelId p, ChannelId q) {
+    for (ItemId y = 0; y < alloc_.items(); ++y) {
+      const ChannelId home = alloc_.channel_of(y);
+      if (home == p || home == q || cache_[y].to == p || cache_[y].to == q) {
+        recompute(y);
+        continue;
+      }
+      // Cached target untouched; only gains toward p and q moved. Keep the
+      // scan's tie-break: prefer the smaller channel id on equal gain.
+      for (ChannelId c : {std::min(p, q), std::max(p, q)}) {
+        const double gain = alloc_.move_gain(y, c);
+        if (gain > cache_[y].gain ||
+            (gain == cache_[y].gain && c < cache_[y].to)) {
+          cache_[y] = Entry{gain, c};
+        }
+      }
+    }
+  }
+
+  Allocation& alloc_;
+  std::vector<Entry> cache_;
+};
+
+CdsStats run_cds_indexed(Allocation& alloc, const CdsOptions& options) {
+  CdsStats stats;
+  stats.initial_cost = alloc.cost();
+  if (alloc.channels() > 1) {
+    IndexedCds engine(alloc);
+    while (stats.iterations < options.max_iterations) {
+      const CdsMove move = engine.best();
+      if (move.gain <= options.min_gain) break;
+      engine.apply(move);
+      ++stats.iterations;
+    }
+  }
+  stats.converged = stats.iterations < options.max_iterations ||
+                    best_move(alloc).gain <= options.min_gain;
+  stats.final_cost = alloc.cost();
+  return stats;
+}
+
+}  // namespace
+
+CdsStats run_cds(Allocation& alloc, const CdsOptions& options) {
+  if (options.engine == CdsEngine::kIndexed &&
+      options.policy == CdsPolicy::kBestImprovement) {
+    return run_cds_indexed(alloc, options);
+  }
+
+  CdsStats stats;
+  stats.initial_cost = alloc.cost();
+
+  while (stats.iterations < options.max_iterations) {
+    const CdsMove move = options.policy == CdsPolicy::kBestImprovement
+                             ? best_move(alloc)
+                             : first_improving_move(alloc, options.min_gain);
+    if (move.gain <= options.min_gain) break;  // local optimum (line 18 of CDS)
+    alloc.move(move.item, move.to);
+    ++stats.iterations;
+  }
+
+  stats.converged = stats.iterations < options.max_iterations ||
+                    best_move(alloc).gain <= options.min_gain;
+  stats.final_cost = alloc.cost();
+  return stats;
+}
+
+}  // namespace dbs

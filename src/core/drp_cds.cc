@@ -1,0 +1,19 @@
+#include "core/drp_cds.h"
+
+namespace dbs {
+
+DrpCdsResult run_drp_cds(const Database& db, ChannelId channels,
+                         const DrpCdsOptions& options) {
+  DrpResult drp = run_drp(db, channels, options.drp);
+  DrpCdsResult result{std::move(drp.allocation), 0.0, 0.0, {}};
+  result.drp_cost = result.allocation.cost();
+  if (options.run_cds) {
+    result.cds = run_cds(result.allocation, options.cds);
+  } else {
+    result.cds.initial_cost = result.cds.final_cost = result.drp_cost;
+  }
+  result.final_cost = result.allocation.cost();
+  return result;
+}
+
+}  // namespace dbs

@@ -1,0 +1,31 @@
+// The paper's two-step allocation scheme: DRP provides the rough allocation,
+// CDS refines it to a local optimum (paper §1, "two-step allocation scheme").
+#pragma once
+
+#include "core/cds.h"
+#include "core/drp.h"
+#include "model/allocation.h"
+#include "model/database.h"
+
+namespace dbs {
+
+/// Options for the combined pipeline.
+struct DrpCdsOptions {
+  DrpOptions drp;
+  CdsOptions cds;
+  bool run_cds = true;  ///< disable to obtain plain DRP through the same API
+};
+
+/// Combined run record: costs after each stage plus CDS statistics.
+struct DrpCdsResult {
+  Allocation allocation;
+  double drp_cost = 0.0;   ///< cost after the rough allocation
+  double final_cost = 0.0; ///< cost after refinement
+  CdsStats cds;            ///< zero-iteration stats when run_cds is false
+};
+
+/// Runs DRP followed by CDS. Requires 1 ≤ K ≤ N.
+DrpCdsResult run_drp_cds(const Database& db, ChannelId channels,
+                         const DrpCdsOptions& options = {});
+
+}  // namespace dbs

@@ -1,0 +1,39 @@
+#include "core/partition.h"
+
+#include "common/check.h"
+
+namespace dbs {
+
+PrefixSums::PrefixSums(const Database& db, std::span<const ItemId> order) {
+  freq.resize(order.size() + 1, 0.0);
+  size.resize(order.size() + 1, 0.0);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const Item& it = db.item(order[i]);
+    freq[i + 1] = freq[i] + it.freq;
+    size[i + 1] = size[i] + it.size;
+  }
+}
+
+SplitResult best_split(const PrefixSums& sums, std::size_t begin, std::size_t end) {
+  DBS_CHECK_MSG(end <= sums.freq.size() - 1, "slice end out of range");
+  DBS_CHECK_MSG(end - begin >= 2, "cannot split a group of fewer than two items");
+
+  SplitResult best;
+  double best_total = 0.0;
+  bool first = true;
+  for (std::size_t p = begin + 1; p < end; ++p) {
+    const double left = sums.cost_of(begin, p);
+    const double right = sums.cost_of(p, end);
+    const double total = left + right;
+    if (first || total < best_total) {
+      first = false;
+      best_total = total;
+      best.split = p;
+      best.left_cost = left;
+      best.right_cost = right;
+    }
+  }
+  return best;
+}
+
+}  // namespace dbs

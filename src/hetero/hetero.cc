@@ -1,0 +1,176 @@
+#include "hetero/hetero.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "core/drp.h"
+
+namespace dbs {
+namespace {
+
+void check_bandwidths(const Allocation& alloc, const std::vector<double>& bandwidths) {
+  DBS_CHECK_MSG(bandwidths.size() == alloc.channels(),
+                "need one bandwidth per channel");
+  for (double b : bandwidths) DBS_CHECK_MSG(b > 0.0, "bandwidths must be positive");
+}
+
+/// Incremental state for the heterogeneous local search: per-channel
+/// aggregate frequency F, size Z and download sum P = Σ f·z.
+class HeteroSearch {
+ public:
+  HeteroSearch(Allocation& alloc, const std::vector<double>& bandwidths)
+      : alloc_(alloc), bandwidths_(bandwidths), freq_(alloc.channels(), 0.0),
+        size_(alloc.channels(), 0.0), download_(alloc.channels(), 0.0) {
+    const Database& db = alloc.database();
+    for (ItemId id = 0; id < db.size(); ++id) {
+      const Item& it = db.item(id);
+      const ChannelId c = alloc.channel_of(id);
+      freq_[c] += it.freq;
+      size_[c] += it.size;
+      download_[c] += it.freq * it.size;
+    }
+  }
+
+  double wait() const {
+    double w = 0.0;
+    for (ChannelId c = 0; c < alloc_.channels(); ++c) {
+      w += (freq_[c] * size_[c] / 2.0 + download_[c]) / bandwidths_[c];
+    }
+    return w;
+  }
+
+  /// Generalized Eq. (4) gain of moving `id` to channel `to` (O(1)).
+  double gain(ItemId id, ChannelId to) const {
+    const ChannelId from = alloc_.channel_of(id);
+    if (from == to) return 0.0;
+    const Item& it = alloc_.database().item(id);
+    const double fz = it.freq * it.size;
+    const double lost = ((it.freq * size_[from] + it.size * freq_[from] - fz) / 2.0 +
+                         fz) / bandwidths_[from];
+    const double gained = ((it.freq * size_[to] + it.size * freq_[to] + fz) / 2.0 +
+                           fz) / bandwidths_[to];
+    return lost - gained;
+  }
+
+  void apply(ItemId id, ChannelId to) {
+    const ChannelId from = alloc_.channel_of(id);
+    const Item& it = alloc_.database().item(id);
+    freq_[from] -= it.freq;
+    size_[from] -= it.size;
+    download_[from] -= it.freq * it.size;
+    freq_[to] += it.freq;
+    size_[to] += it.size;
+    download_[to] += it.freq * it.size;
+    alloc_.move(id, to);
+  }
+
+  /// Best-improvement sweep; returns moves applied.
+  std::size_t run(double min_gain = 1e-12) {
+    std::size_t moves = 0;
+    while (true) {
+      ItemId best_item = 0;
+      ChannelId best_to = 0;
+      double best_gain = 0.0;
+      bool have = false;
+      for (ItemId id = 0; id < alloc_.items(); ++id) {
+        for (ChannelId c = 0; c < alloc_.channels(); ++c) {
+          if (c == alloc_.channel_of(id)) continue;
+          const double g = gain(id, c);
+          if (!have || g > best_gain) {
+            have = true;
+            best_gain = g;
+            best_item = id;
+            best_to = c;
+          }
+        }
+      }
+      if (!have || best_gain <= min_gain) return moves;
+      apply(best_item, best_to);
+      ++moves;
+    }
+  }
+
+ private:
+  Allocation& alloc_;
+  const std::vector<double>& bandwidths_;
+  std::vector<double> freq_, size_, download_;
+};
+
+}  // namespace
+
+double hetero_wait(const Allocation& alloc, const std::vector<double>& bandwidths) {
+  check_bandwidths(alloc, bandwidths);
+  const Database& db = alloc.database();
+  std::vector<double> download(alloc.channels(), 0.0);
+  for (ItemId id = 0; id < db.size(); ++id) {
+    const Item& it = db.item(id);
+    download[alloc.channel_of(id)] += it.freq * it.size;
+  }
+  double w = 0.0;
+  for (ChannelId c = 0; c < alloc.channels(); ++c) {
+    w += (alloc.freq_of(c) * alloc.size_of(c) / 2.0 + download[c]) / bandwidths[c];
+  }
+  return w;
+}
+
+double hetero_move_gain(const Allocation& alloc,
+                        const std::vector<double>& bandwidths, ItemId item,
+                        ChannelId to) {
+  check_bandwidths(alloc, bandwidths);
+  DBS_CHECK(item < alloc.items());
+  DBS_CHECK(to < alloc.channels());
+  const ChannelId from = alloc.channel_of(item);
+  if (from == to) return 0.0;
+  const Item& it = alloc.database().item(item);
+  const double fz = it.freq * it.size;
+  const double lost =
+      ((it.freq * alloc.size_of(from) + it.size * alloc.freq_of(from) - fz) / 2.0 +
+       fz) / bandwidths[from];
+  const double gained =
+      ((it.freq * alloc.size_of(to) + it.size * alloc.freq_of(to) + fz) / 2.0 + fz) /
+      bandwidths[to];
+  return lost - gained;
+}
+
+HeteroResult schedule_hetero(const Database& db,
+                             const std::vector<double>& bandwidths) {
+  const auto k = static_cast<ChannelId>(bandwidths.size());
+  DBS_CHECK_MSG(k >= 1, "need at least one channel");
+  for (double b : bandwidths) DBS_CHECK_MSG(b > 0.0, "bandwidths must be positive");
+
+  // Step 1: DRP grouping, then heaviest group -> fastest channel.
+  DrpResult drp = run_drp(db, k);
+  std::vector<double> group_load(k, 0.0);  // F·Z/2 + P per DRP channel
+  for (ItemId id = 0; id < db.size(); ++id) {
+    const Item& it = db.item(id);
+    group_load[drp.allocation.channel_of(id)] += it.freq * it.size;
+  }
+  for (ChannelId c = 0; c < k; ++c) {
+    group_load[c] += drp.allocation.freq_of(c) * drp.allocation.size_of(c) / 2.0;
+  }
+
+  std::vector<ChannelId> groups_by_load(k), channels_by_bw(k);
+  std::iota(groups_by_load.begin(), groups_by_load.end(), 0);
+  std::iota(channels_by_bw.begin(), channels_by_bw.end(), 0);
+  std::stable_sort(groups_by_load.begin(), groups_by_load.end(),
+                   [&](ChannelId a, ChannelId b) { return group_load[a] > group_load[b]; });
+  std::stable_sort(channels_by_bw.begin(), channels_by_bw.end(),
+                   [&](ChannelId a, ChannelId b) { return bandwidths[a] > bandwidths[b]; });
+  std::vector<ChannelId> relabel(k);
+  for (ChannelId r = 0; r < k; ++r) relabel[groups_by_load[r]] = channels_by_bw[r];
+
+  std::vector<ChannelId> assignment(db.size());
+  for (ItemId id = 0; id < db.size(); ++id) {
+    assignment[id] = relabel[drp.allocation.channel_of(id)];
+  }
+  Allocation alloc(db, k, std::move(assignment));
+
+  // Step 2: generalized-Δ local search to a local optimum.
+  HeteroSearch search(alloc, bandwidths);
+  const std::size_t moves = search.run();
+  const double wait = search.wait();
+  return HeteroResult{std::move(alloc), wait, moves};
+}
+
+}  // namespace dbs

@@ -1,0 +1,79 @@
+// A channel allocation: the partition of the database into K channel groups.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "model/database.h"
+#include "model/item.h"
+
+namespace dbs {
+
+/// Mutable partition of a Database's items into K disjoint channel groups.
+///
+/// Maintains per-channel aggregates incrementally:
+///   F_i = Σ_{j ∈ D_i} f_j   (aggregate frequency, Definition 3)
+///   Z_i = Σ_{j ∈ D_i} z_j   (aggregate size,      Definition 4)
+/// so the paper's cost Σ F_i·Z_i and the Δc of a move (Eq. 4) are O(1).
+///
+/// The referenced Database must outlive the Allocation.
+class Allocation {
+ public:
+  /// Creates an allocation with every item assigned to channel 0.
+  Allocation(const Database& db, ChannelId channels);
+
+  /// Creates an allocation from an explicit assignment vector
+  /// (assignment[id] = channel). Checks bounds.
+  Allocation(const Database& db, ChannelId channels,
+             std::vector<ChannelId> assignment);
+
+  const Database& database() const { return *db_; }
+  ChannelId channels() const { return channels_; }
+  std::size_t items() const { return assignment_.size(); }
+
+  ChannelId channel_of(ItemId id) const;
+  const std::vector<ChannelId>& assignment() const { return assignment_; }
+
+  /// Aggregate frequency F_i of channel i.
+  double freq_of(ChannelId c) const;
+  /// Aggregate size Z_i of channel i.
+  double size_of(ChannelId c) const;
+  /// Number of items allocated to channel i (the paper's N_i).
+  std::size_t count_of(ChannelId c) const;
+
+  /// Moves item `id` to channel `to`, updating aggregates in O(1).
+  /// Moving an item to its current channel is a no-op.
+  void move(ItemId id, ChannelId to);
+
+  /// Per-channel cost F_i · Z_i (Definition 1 applied to the group).
+  double channel_cost(ChannelId c) const;
+
+  /// Total cost Σ_i F_i·Z_i (Eq. 3) — the quantity every algorithm minimizes.
+  double cost() const;
+
+  /// Recomputes cost from scratch, ignoring the incremental aggregates.
+  /// Used by tests to confirm the incremental bookkeeping is exact.
+  double cost_recomputed() const;
+
+  /// The Δc of moving item `id` to channel `to` (Eq. 4), without performing
+  /// the move. Positive Δc means the move reduces total cost.
+  double move_gain(ItemId id, ChannelId to) const;
+
+  /// Item ids currently assigned to channel c, in ascending id order. O(N).
+  std::vector<ItemId> items_in(ChannelId c) const;
+
+  /// True iff every item is assigned to exactly one in-range channel and the
+  /// cached aggregates match a from-scratch recomputation.
+  bool validate(std::string* error = nullptr) const;
+
+ private:
+  const Database* db_;
+  ChannelId channels_;
+  std::vector<ChannelId> assignment_;
+  std::vector<double> freq_;          // F_i per channel
+  std::vector<double> size_;          // Z_i per channel
+  std::vector<std::size_t> count_;    // N_i per channel
+};
+
+}  // namespace dbs

@@ -1,0 +1,82 @@
+#include "model/allocation_io.h"
+
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dbs {
+namespace {
+
+[[noreturn]] void fail(std::size_t line_number, const std::string& why) {
+  std::ostringstream os;
+  os << "allocation line " << line_number << ": " << why;
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace
+
+void store_allocation(std::ostream& out, const Allocation& alloc, double bandwidth) {
+  DBS_CHECK(bandwidth > 0.0);
+  out << "# dbs-allocation v1\n";
+  out << "channels " << alloc.channels() << '\n';
+  out << "bandwidth " << bandwidth << '\n';
+  for (ItemId id = 0; id < alloc.items(); ++id) {
+    out << "item " << id << ' ' << alloc.channel_of(id) << '\n';
+  }
+}
+
+StoredAllocation load_allocation(std::istream& in, const Database& db) {
+  std::optional<ChannelId> channels;
+  double bandwidth = 0.0;
+  std::vector<ChannelId> assignment(db.size(), 0);
+  std::vector<bool> seen(db.size(), false);
+
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::istringstream fields(line);
+    std::string keyword;
+    if (!(fields >> keyword) || keyword.front() == '#') continue;
+
+    if (keyword == "channels") {
+      unsigned long value = 0;
+      if (!(fields >> value) || value == 0) fail(line_number, "bad channel count");
+      channels = static_cast<ChannelId>(value);
+    } else if (keyword == "bandwidth") {
+      if (!(fields >> bandwidth) || bandwidth <= 0.0) {
+        fail(line_number, "bad bandwidth");
+      }
+    } else if (keyword == "item") {
+      if (!channels.has_value()) fail(line_number, "'item' before 'channels'");
+      unsigned long id = 0;
+      unsigned long channel = 0;
+      if (!(fields >> id >> channel)) fail(line_number, "expected 'item ID CHANNEL'");
+      if (id >= db.size()) fail(line_number, "unknown item id " + std::to_string(id));
+      if (channel >= *channels) {
+        fail(line_number, "channel " + std::to_string(channel) + " out of range");
+      }
+      if (seen[id]) fail(line_number, "item " + std::to_string(id) + " assigned twice");
+      seen[id] = true;
+      assignment[id] = static_cast<ChannelId>(channel);
+    } else {
+      fail(line_number, "unknown keyword '" + keyword + "'");
+    }
+  }
+
+  if (!channels.has_value()) throw std::runtime_error("allocation: missing 'channels'");
+  if (bandwidth <= 0.0) throw std::runtime_error("allocation: missing 'bandwidth'");
+  for (ItemId id = 0; id < db.size(); ++id) {
+    if (!seen[id]) {
+      throw std::runtime_error("allocation: item " + std::to_string(id) +
+                               " never assigned");
+    }
+  }
+  return StoredAllocation{Allocation(db, *channels, std::move(assignment)), bandwidth};
+}
+
+}  // namespace dbs

@@ -1,0 +1,77 @@
+#include "model/database.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace dbs {
+
+Database::Database(std::vector<Item> items) : items_(std::move(items)) {
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    items_[i].id = static_cast<ItemId>(i);
+  }
+  validate_and_normalize();
+}
+
+Database::Database(const std::vector<double>& sizes, const std::vector<double>& freqs) {
+  DBS_CHECK_MSG(sizes.size() == freqs.size(),
+                "sizes (" << sizes.size() << ") and freqs (" << freqs.size()
+                          << ") must be parallel");
+  items_.reserve(sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    items_.push_back(Item{static_cast<ItemId>(i), sizes[i], freqs[i]});
+  }
+  validate_and_normalize();
+}
+
+void Database::validate_and_normalize() {
+  DBS_CHECK_MSG(!items_.empty(), "a broadcast database needs at least one item");
+  double freq_sum = 0.0;
+  for (const Item& it : items_) {
+    DBS_CHECK_MSG(std::isfinite(it.size) && it.size > 0.0,
+                  "item " << it.id << " has non-positive size " << it.size);
+    DBS_CHECK_MSG(std::isfinite(it.freq) && it.freq >= 0.0,
+                  "item " << it.id << " has negative frequency " << it.freq);
+    freq_sum += it.freq;
+  }
+  DBS_CHECK_MSG(freq_sum > 0.0, "total access frequency must be positive");
+
+  total_size_ = 0.0;
+  weighted_size_ = 0.0;
+  for (Item& it : items_) {
+    it.freq /= freq_sum;
+    total_size_ += it.size;
+    weighted_size_ += it.freq * it.size;
+  }
+}
+
+const Item& Database::item(ItemId id) const {
+  DBS_CHECK_MSG(id < items_.size(), "item id " << id << " out of range");
+  return items_[id];
+}
+
+std::vector<ItemId> Database::ids_by_benefit_ratio_desc() const {
+  std::vector<ItemId> ids(items_.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  std::stable_sort(ids.begin(), ids.end(), [this](ItemId a, ItemId b) {
+    const double ra = items_[a].benefit_ratio();
+    const double rb = items_[b].benefit_ratio();
+    if (ra != rb) return ra > rb;
+    return a < b;
+  });
+  return ids;
+}
+
+std::vector<ItemId> Database::ids_by_freq_desc() const {
+  std::vector<ItemId> ids(items_.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  std::stable_sort(ids.begin(), ids.end(), [this](ItemId a, ItemId b) {
+    if (items_[a].freq != items_[b].freq) return items_[a].freq > items_[b].freq;
+    return a < b;
+  });
+  return ids;
+}
+
+}  // namespace dbs

@@ -1,0 +1,56 @@
+// The broadcast database D: the full catalogue of items to disseminate.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/item.h"
+
+namespace dbs {
+
+/// Immutable-after-construction catalogue of broadcast items.
+///
+/// Invariants (checked on construction):
+///  * at least one item;
+///  * every size is strictly positive and finite;
+///  * every frequency is non-negative and finite, with positive total.
+///
+/// Frequencies are normalized so that Σ f_j = 1, matching the paper's model.
+/// Item ids are the positions in the original input order, so an Allocation's
+/// assignment vector can be indexed by ItemId.
+class Database {
+ public:
+  /// Builds a database from (size, freq) pairs; ids are assigned 0..N-1 in
+  /// input order and frequencies are normalized.
+  explicit Database(std::vector<Item> items);
+
+  /// Convenience constructor from parallel arrays.
+  Database(const std::vector<double>& sizes, const std::vector<double>& freqs);
+
+  std::size_t size() const { return items_.size(); }
+  const Item& item(ItemId id) const;
+  const std::vector<Item>& items() const { return items_; }
+
+  /// Σ z_j over the whole database.
+  double total_size() const { return total_size_; }
+
+  /// Σ f_j · z_j — the schedule-independent download term of Eq. (2).
+  double weighted_size() const { return weighted_size_; }
+
+  /// Item ids sorted by benefit ratio f/z, descending. Ties are broken by
+  /// id so the order is deterministic. This is DRP's input order.
+  std::vector<ItemId> ids_by_benefit_ratio_desc() const;
+
+  /// Item ids sorted by access frequency, descending (the conventional
+  /// environment's order, used by VF^K). Deterministic tie-break by id.
+  std::vector<ItemId> ids_by_freq_desc() const;
+
+ private:
+  void validate_and_normalize();
+
+  std::vector<Item> items_;
+  double total_size_ = 0.0;
+  double weighted_size_ = 0.0;
+};
+
+}  // namespace dbs

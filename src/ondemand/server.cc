@@ -1,0 +1,156 @@
+#include "ondemand/server.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/check.h"
+#include "sim/event_queue.h"
+
+namespace dbs {
+
+std::string_view ondemand_policy_name(OnDemandPolicy policy) {
+  switch (policy) {
+    case OnDemandPolicy::kFcfs: return "fcfs";
+    case OnDemandPolicy::kMrf: return "mrf";
+    case OnDemandPolicy::kLwf: return "lwf";
+    case OnDemandPolicy::kRxW: return "rxw";
+    case OnDemandPolicy::kLtsf: return "ltsf";
+  }
+  return "unknown";
+}
+
+const std::vector<OnDemandPolicy>& all_ondemand_policies() {
+  static const std::vector<OnDemandPolicy> kAll = {
+      OnDemandPolicy::kFcfs, OnDemandPolicy::kMrf, OnDemandPolicy::kLwf,
+      OnDemandPolicy::kRxW, OnDemandPolicy::kLtsf};
+  return kAll;
+}
+
+namespace {
+
+/// Pending-request bookkeeping for one item.
+struct PendingItem {
+  std::vector<double> arrivals;  // of requests not yet boarded
+  double oldest() const { return arrivals.front(); }
+  bool empty() const { return arrivals.empty(); }
+};
+
+/// Policy score: the server broadcasts the pending item with the *largest*
+/// score; ties break toward the smaller item id for determinism.
+double score(OnDemandPolicy policy, const PendingItem& pending, double now,
+             double service_time) {
+  const auto count = static_cast<double>(pending.arrivals.size());
+  switch (policy) {
+    case OnDemandPolicy::kFcfs:
+      return now - pending.oldest();  // oldest request first
+    case OnDemandPolicy::kMrf:
+      return count;
+    case OnDemandPolicy::kLwf: {
+      double total = 0.0;
+      for (double a : pending.arrivals) total += now - a;
+      return total;
+    }
+    case OnDemandPolicy::kRxW:
+      return count * (now - pending.oldest());
+    case OnDemandPolicy::kLtsf: {
+      double total = 0.0;
+      for (double a : pending.arrivals) {
+        total += ((now - a) + service_time) / service_time;
+      }
+      return total;
+    }
+  }
+  DBS_CHECK_MSG(false, "unknown policy");
+  return 0.0;
+}
+
+}  // namespace
+
+OnDemandReport run_ondemand(const Database& db, const std::vector<Request>& trace,
+                            const OnDemandConfig& config) {
+  DBS_CHECK(config.channels >= 1);
+  DBS_CHECK(config.bandwidth > 0.0);
+
+  OnDemandReport report;
+  if (trace.empty()) return report;
+
+  EventQueue queue;
+  std::vector<PendingItem> pending(db.size());
+  std::size_t pending_total = 0;
+  std::vector<double> waits;
+  std::vector<double> stretches;
+  waits.reserve(trace.size());
+  stretches.reserve(trace.size());
+  std::size_t idle_channels = config.channels;
+  // Items currently on air (so two channels never broadcast the same item).
+  std::vector<bool> on_air(db.size(), false);
+
+  auto service_time = [&](ItemId id) { return db.item(id).size / config.bandwidth; };
+
+  std::optional<ItemId> pick_next = std::nullopt;
+
+  auto choose = [&]() -> std::optional<ItemId> {
+    std::optional<ItemId> best;
+    double best_score = 0.0;
+    for (ItemId id = 0; id < db.size(); ++id) {
+      if (pending[id].empty() || on_air[id]) continue;
+      const double s = score(config.policy, pending[id], queue.now(), service_time(id));
+      if (!best.has_value() || s > best_score) {
+        best = id;
+        best_score = s;
+      }
+    }
+    return best;
+  };
+
+  // Forward declaration so completion handlers can start new broadcasts.
+  std::function<void(ItemId)> start_broadcast = [&](ItemId id) {
+    DBS_CHECK(idle_channels > 0);
+    --idle_channels;
+    on_air[id] = true;
+    ++report.broadcasts;
+    // Board everyone pending now; later arrivals wait for a future broadcast.
+    std::vector<double> boarded;
+    boarded.swap(pending[id].arrivals);
+    pending_total -= boarded.size();
+    const double done = queue.now() + service_time(id);
+    queue.schedule(done, [&, id, boarded = std::move(boarded), done] {
+      const double service = service_time(id);
+      for (double arrival : boarded) {
+        const double wait = done - arrival;
+        waits.push_back(wait);
+        stretches.push_back(wait / service);
+        report.makespan = std::max(report.makespan, done);
+      }
+      on_air[id] = false;
+      ++idle_channels;
+      while (idle_channels > 0 && (pick_next = choose()).has_value()) {
+        start_broadcast(*pick_next);
+      }
+    });
+  };
+
+  for (const Request& r : trace) {
+    DBS_CHECK(r.item < db.size());
+    queue.schedule(r.time, [&, r] {
+      pending[r.item].arrivals.push_back(r.time);
+      ++pending_total;
+      if (idle_channels > 0 && !on_air[r.item]) {
+        // A channel is free: the policy decides (it may pick another item,
+        // but with a free channel the newly pending item is always eligible).
+        const auto next = choose();
+        if (next.has_value()) start_broadcast(*next);
+      }
+    });
+  }
+
+  queue.run_all();
+  DBS_CHECK_MSG(pending_total == 0, pending_total << " requests never served");
+
+  report.requests_served = waits.size();
+  report.waiting = summarize(waits);
+  report.stretch = summarize(stretches);
+  return report;
+}
+
+}  // namespace dbs

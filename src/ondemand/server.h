@@ -1,0 +1,71 @@
+// On-demand (pull-based) broadcast scheduling — the environment of the
+// paper's reference [2] (Acharya & Muthukrishnan, MOBICOM'98), which the
+// paper's footnote 1 contrasts with its push-based setting.
+//
+// Clients send explicit requests; whenever a channel falls idle the server
+// picks which pending item to broadcast next according to a scheduling
+// policy. All requests pending at transmission *start* are satisfied at
+// transmission end; requests arriving mid-transmission wait for a later
+// broadcast of the item.
+//
+// Policies (the classic line-up):
+//   FCFS — item whose oldest pending request is oldest;
+//   MRF  — most pending requests;
+//   LWF  — largest total accumulated waiting time;
+//   RxW  — (pending requests) × (oldest wait), the classic balanced rule;
+//   LTSF — largest total current stretch; stretch = (wait + service)/service,
+//          the size-aware metric reference [2] argues for in heterogeneous
+//          (diverse-size) workloads.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.h"
+#include "model/database.h"
+#include "workload/trace.h"
+
+namespace dbs {
+
+/// On-demand scheduling policy.
+enum class OnDemandPolicy {
+  kFcfs,
+  kMrf,
+  kLwf,
+  kRxW,
+  kLtsf,
+};
+
+/// Stable display name ("fcfs", "mrf", ...).
+std::string_view ondemand_policy_name(OnDemandPolicy policy);
+
+/// All policies, in presentation order.
+const std::vector<OnDemandPolicy>& all_ondemand_policies();
+
+/// Server configuration.
+struct OnDemandConfig {
+  OnDemandPolicy policy = OnDemandPolicy::kRxW;
+  ChannelId channels = 1;     ///< parallel broadcast channels
+  double bandwidth = 10.0;    ///< size units per second per channel
+};
+
+/// Aggregate results of one on-demand run.
+struct OnDemandReport {
+  std::size_t requests_served = 0;
+  std::size_t broadcasts = 0;      ///< item transmissions performed
+  Summary waiting;                 ///< response time distribution
+  Summary stretch;                 ///< (wait)/(service time) distribution,
+                                   ///< where wait already includes download
+  double makespan = 0.0;           ///< completion time of the last request
+
+  double mean_wait() const { return waiting.mean; }
+  double mean_stretch() const { return stretch.mean; }
+};
+
+/// Runs the on-demand server over the request trace (event-driven).
+/// The trace must be time-sorted (generate_trace guarantees this).
+OnDemandReport run_ondemand(const Database& db, const std::vector<Request>& trace,
+                            const OnDemandConfig& config);
+
+}  // namespace dbs

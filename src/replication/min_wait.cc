@@ -1,0 +1,54 @@
+#include "replication/min_wait.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/check.h"
+
+namespace dbs {
+namespace {
+
+// 16-node Gauss–Legendre rule on [-1, 1]: exact for polynomials of degree
+// ≤ 31, far above any realistic replication degree.
+constexpr std::array<double, 16> kNodes = {
+    -0.9894009349916499, -0.9445750230732326, -0.8656312023878318,
+    -0.7554044083550030, -0.6178762444026438, -0.4580167776572274,
+    -0.2816035507792589, -0.0950125098376374, 0.0950125098376374,
+    0.2816035507792589,  0.4580167776572274,  0.6178762444026438,
+    0.7554044083550030,  0.8656312023878318,  0.9445750230732326,
+    0.9894009349916499};
+constexpr std::array<double, 16> kWeights = {
+    0.0271524594117541, 0.0622535239386479, 0.0951585116824928,
+    0.1246289712555339, 0.1495959888165767, 0.1691565193950025,
+    0.1826034150449236, 0.1894506104550685, 0.1894506104550685,
+    0.1826034150449236, 0.1691565193950025, 0.1495959888165767,
+    0.1246289712555339, 0.0951585116824928, 0.0622535239386479,
+    0.0271524594117541};
+
+}  // namespace
+
+double expected_min_uniform(std::vector<double> cycles) {
+  DBS_CHECK_MSG(!cycles.empty(), "need at least one channel");
+  for (double c : cycles) DBS_CHECK_MSG(c > 0.0, "cycle times must be positive");
+  std::sort(cycles.begin(), cycles.end());
+
+  // Survival function S(t) = Π_c (1 − t/C_c) for t < C_min, truncating factors
+  // as they hit zero; integrate piecewise over [0, C_0], [C_0, C_1], ... —
+  // but S(t) = 0 for t ≥ C_0 (the smallest cycle forces the product to 0), so
+  // only [0, C_0] contributes.
+  const double upper = cycles.front();
+  auto survival = [&](double t) {
+    double s = 1.0;
+    for (double c : cycles) s *= (1.0 - t / c);
+    return s;
+  };
+
+  const double half = upper / 2.0;
+  double integral = 0.0;
+  for (std::size_t i = 0; i < kNodes.size(); ++i) {
+    integral += kWeights[i] * survival(half + half * kNodes[i]);
+  }
+  return integral * half;
+}
+
+}  // namespace dbs

@@ -1,0 +1,24 @@
+// Expected minimum waiting time across replicated broadcast channels.
+//
+// A client wanting an item replicated on channels S tunes to whichever copy
+// completes first. On channel c (cycle time C_c) the time until the item's
+// next transmission *start* is uniform on [0, C_c) for a uniformly random
+// tune-in, and copies on different channels have independent phases. The
+// item's minimum probe time is therefore min_c V_c with V_c ~ U[0, C_c)
+// independent, whose expectation is
+//     E[min V] = ∫₀^∞ Π_c max(0, 1 − t/C_c) dt.
+// The integrand vanishes beyond the smallest cycle time and is a single
+// polynomial of degree |S| on [0, C_min], so a 16-node Gauss–Legendre rule
+// (exact to degree 31) evaluates the integral exactly up to rounding — no
+// sampling error.
+#pragma once
+
+#include <vector>
+
+namespace dbs {
+
+/// E[min_c V_c] for independent V_c ~ U[0, cycles[c]). Every cycle must be
+/// positive. With one channel this is cycles[0]/2 — the paper's probe time.
+double expected_min_uniform(std::vector<double> cycles);
+
+}  // namespace dbs

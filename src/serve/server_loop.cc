@@ -1,0 +1,59 @@
+#include "serve/server_loop.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "model/cost.h"
+
+namespace dbs {
+
+BroadcastServerLoop::BroadcastServerLoop(std::vector<double> item_sizes,
+                                         const ServerLoopConfig& config)
+    : config_(config), sizes_(std::move(item_sizes)),
+      tracker_(sizes_.size(), config.tracker_gain, config.tracker_alpha),
+      db_(sizes_, tracker_.frequencies()),
+      alloc_(run_drp_cds(db_, config.channels).allocation) {
+  DBS_CHECK(config.bandwidth > 0.0);
+  DBS_CHECK(config.rebuild_threshold >= 0.0);
+  DBS_CHECK_MSG(config.channels <= sizes_.size(),
+                "cannot fill more channels than items");
+}
+
+Database BroadcastServerLoop::rebuild_database() const {
+  return Database(sizes_, tracker_.frequencies());
+}
+
+EpochReport BroadcastServerLoop::observe_window(const std::vector<Request>& window) {
+  tracker_.observe(window);
+  Database fresh = rebuild_database();
+
+  // Repair: carry the on-air assignment into the new popularity estimate and
+  // let CDS fix it up.
+  Allocation repaired(fresh, config_.channels, alloc_.assignment());
+  const CdsStats repair_stats = run_cds(repaired);
+
+  // Reference rebuild from scratch.
+  DrpCdsResult rebuilt = run_drp_cds(fresh, config_.channels);
+
+  EpochReport report;
+  report.epoch = ++epoch_;
+  report.requests = window.size();
+  report.repaired_cost = repaired.cost();
+  report.rebuilt_cost = rebuilt.final_cost;
+  report.repair_moves = repair_stats.iterations;
+  report.adopted_rebuild =
+      rebuilt.final_cost <
+      repaired.cost() * (1.0 - config_.rebuild_threshold);
+
+  // Swap in the chosen allocation; db_ must outlive alloc_, so move the
+  // database first and rebind the allocation against the stored instance.
+  const std::vector<ChannelId> chosen = report.adopted_rebuild
+                                            ? rebuilt.allocation.assignment()
+                                            : repaired.assignment();
+  db_ = std::move(fresh);
+  alloc_ = Allocation(db_, config_.channels, chosen);
+  report.waiting_time = program_waiting_time(alloc_, config_.bandwidth);
+  return report;
+}
+
+}  // namespace dbs

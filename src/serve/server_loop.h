@@ -1,0 +1,78 @@
+// The operational broadcast-server loop of the paper's Figure 1: the server
+// collects the access patterns of mobile users, re-estimates item
+// popularity, and regenerates the broadcast program when it pays off.
+//
+// Each epoch:
+//   1. observe a window of client requests (FrequencyTracker, exponential
+//      forgetting, Laplace smoothing);
+//   2. rebuild the database with the fresh estimate;
+//   3. repair the current allocation with CDS from the carried-over
+//      assignment (cheap), and compute a full DRP-CDS rebuild (reference);
+//   4. adopt the rebuild only when it beats the repaired allocation by more
+//      than `rebuild_threshold` (relative) — otherwise keep the repair, so
+//      most epochs cost a handful of CDS moves instead of a full rebuild.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/drp_cds.h"
+#include "model/allocation.h"
+#include "model/database.h"
+#include "workload/estimate.h"
+#include "workload/trace.h"
+
+namespace dbs {
+
+/// Server-loop configuration.
+struct ServerLoopConfig {
+  ChannelId channels = 6;
+  double bandwidth = 10.0;
+  double tracker_gain = 0.4;       ///< exponential-forgetting weight
+  double tracker_alpha = 1.0;      ///< Laplace smoothing mass per item
+  double rebuild_threshold = 0.01; ///< adopt rebuild if ≥1% better than repair
+};
+
+/// Per-epoch record.
+struct EpochReport {
+  std::size_t epoch = 0;
+  std::size_t requests = 0;
+  double repaired_cost = 0.0;   ///< after CDS repair of the carried program
+  double rebuilt_cost = 0.0;    ///< full DRP-CDS from scratch
+  bool adopted_rebuild = false;
+  std::size_t repair_moves = 0;
+  double waiting_time = 0.0;    ///< W_b of the program now on air
+};
+
+/// Long-running server: owns the catalogue sizes, the popularity estimate
+/// and the live allocation.
+class BroadcastServerLoop {
+ public:
+  /// Starts from a uniform popularity estimate over the given item sizes and
+  /// an initial DRP-CDS program.
+  BroadcastServerLoop(std::vector<double> item_sizes, const ServerLoopConfig& config);
+
+  /// Feeds one observed request window; returns what the server did.
+  EpochReport observe_window(const std::vector<Request>& window);
+
+  /// The database under the current popularity estimate.
+  const Database& database() const { return db_; }
+
+  /// The allocation currently on air (valid for database()).
+  const Allocation& allocation() const { return alloc_; }
+
+  const ServerLoopConfig& config() const { return config_; }
+  std::size_t epochs() const { return epoch_; }
+
+ private:
+  Database rebuild_database() const;
+
+  ServerLoopConfig config_;
+  std::vector<double> sizes_;
+  FrequencyTracker tracker_;
+  Database db_;
+  Allocation alloc_;
+  std::size_t epoch_ = 0;
+};
+
+}  // namespace dbs

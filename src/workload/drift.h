@@ -1,0 +1,25 @@
+// Popularity drift: perturbs a database's access frequencies while keeping
+// its item sizes, modelling interest shifting between items over time (used
+// by the adaptive re-allocation example and the serve-loop tests).
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "model/database.h"
+
+namespace dbs {
+
+/// Drift parameters.
+struct DriftConfig {
+  std::size_t transfers = 6;  ///< number of (hot → cold) probability moves
+  double intensity = 0.5;     ///< fraction of the source item's mass moved
+};
+
+/// Returns a new database with the same sizes and drifted frequencies:
+/// `transfers` times, a random source item sheds `intensity` of its mass to
+/// a random destination item. Frequencies are re-normalized by Database.
+Database drift_frequencies(const Database& db, Rng& rng,
+                           const DriftConfig& config = {});
+
+}  // namespace dbs

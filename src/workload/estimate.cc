@@ -1,0 +1,41 @@
+#include "workload/estimate.h"
+
+#include "common/check.h"
+
+namespace dbs {
+
+std::vector<double> estimate_frequencies(const std::vector<Request>& window,
+                                         std::size_t items, double alpha) {
+  DBS_CHECK(items > 0);
+  DBS_CHECK(alpha >= 0.0);
+  DBS_CHECK_MSG(alpha > 0.0 || !window.empty(),
+                "raw MLE needs at least one observation");
+  std::vector<double> counts(items, alpha);
+  for (const Request& r : window) {
+    DBS_CHECK_MSG(r.item < items, "request for unknown item " << r.item);
+    counts[r.item] += 1.0;
+  }
+  const double total =
+      static_cast<double>(window.size()) + alpha * static_cast<double>(items);
+  for (double& c : counts) c /= total;
+  return counts;
+}
+
+FrequencyTracker::FrequencyTracker(std::size_t items, double gain, double alpha)
+    : gain_(gain), alpha_(alpha),
+      estimate_(items, 1.0 / static_cast<double>(items)) {
+  DBS_CHECK(items > 0);
+  DBS_CHECK_MSG(gain > 0.0 && gain <= 1.0, "gain must lie in (0, 1]");
+  DBS_CHECK(alpha >= 0.0);
+}
+
+void FrequencyTracker::observe(const std::vector<Request>& window) {
+  const std::vector<double> fresh =
+      estimate_frequencies(window, estimate_.size(), alpha_);
+  for (std::size_t i = 0; i < estimate_.size(); ++i) {
+    estimate_[i] = (1.0 - gain_) * estimate_[i] + gain_ * fresh[i];
+  }
+  ++windows_;
+}
+
+}  // namespace dbs

@@ -1,0 +1,48 @@
+// Access-frequency estimation from observed request traces. The paper's
+// server "generates a broadcast program by collecting the access patterns of
+// mobile users" (§1); this is that collection step: turn a window of
+// requests into the frequency vector the scheduler consumes, with Laplace
+// smoothing so never-seen items keep a small positive probability (they must
+// still be broadcast) and optional exponential decay across windows so the
+// estimate tracks drifting popularity.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "workload/trace.h"
+
+namespace dbs {
+
+/// One-shot estimator: normalized (count + alpha) over a trace window.
+/// alpha = 0 gives the raw maximum-likelihood estimate (items never seen get
+/// probability 0); alpha > 0 is Laplace smoothing. Requires items > 0 and a
+/// non-empty trace when alpha == 0.
+std::vector<double> estimate_frequencies(const std::vector<Request>& window,
+                                         std::size_t items, double alpha = 1.0);
+
+/// Streaming estimator with exponential forgetting: each new window's counts
+/// are blended into the running estimate with weight `gain` (0 < gain ≤ 1).
+/// gain = 1 forgets everything between windows; small gains smooth heavily.
+class FrequencyTracker {
+ public:
+  /// Starts from the uniform distribution over `items`.
+  FrequencyTracker(std::size_t items, double gain = 0.3, double alpha = 1.0);
+
+  /// Folds one observed window into the estimate.
+  void observe(const std::vector<Request>& window);
+
+  /// Current normalized estimate (sums to 1, strictly positive everywhere
+  /// when alpha > 0).
+  const std::vector<double>& frequencies() const { return estimate_; }
+
+  std::size_t windows_observed() const { return windows_; }
+
+ private:
+  double gain_;
+  double alpha_;
+  std::vector<double> estimate_;
+  std::size_t windows_ = 0;
+};
+
+}  // namespace dbs

@@ -1,0 +1,78 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/distributions.h"
+
+namespace dbs {
+
+double sample_item_size(Rng& rng, double diversity) {
+  DBS_CHECK(diversity >= 0.0);
+  return std::pow(10.0, rng.uniform(0.0, diversity));
+}
+
+namespace {
+
+/// Standard normal via Box–Muller (one draw per call; simple and exact).
+double sample_standard_normal(Rng& rng) {
+  const double u1 = 1.0 - rng.uniform01();  // (0, 1]
+  const double u2 = rng.uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+}  // namespace
+
+double sample_item_size_model(Rng& rng, const WorkloadConfig& config) {
+  DBS_CHECK(config.diversity >= 0.0);
+  switch (config.size_model) {
+    case SizeModel::kUniformExponent:
+      return sample_item_size(rng, config.diversity);
+    case SizeModel::kLognormal: {
+      DBS_CHECK(config.lognormal_sigma >= 0.0);
+      const double exponent = config.diversity / 2.0 +
+                              config.lognormal_sigma * sample_standard_normal(rng);
+      // Clamp to a sane positive range so a deep tail draw cannot produce a
+      // subnormal or astronomically large object.
+      return std::pow(10.0, std::clamp(exponent, -1.0, config.diversity + 1.0));
+    }
+    case SizeModel::kBimodal: {
+      DBS_CHECK(config.bimodal_media_share >= 0.0 && config.bimodal_media_share <= 1.0);
+      if (rng.chance(config.bimodal_media_share)) {
+        return std::pow(10.0, rng.uniform(0.75 * config.diversity, config.diversity));
+      }
+      return std::pow(10.0, rng.uniform(0.0, 0.25 * config.diversity));
+    }
+  }
+  DBS_CHECK_MSG(false, "unknown SizeModel");
+  return 1.0;
+}
+
+Database generate_database(const WorkloadConfig& config) {
+  DBS_CHECK_MSG(config.items > 0, "workload needs at least one item");
+  DBS_CHECK_MSG(config.skewness >= 0.0, "Zipf skewness must be non-negative");
+  Rng rng(config.seed);
+
+  const std::vector<double> freqs = zipf_probabilities(config.items, config.skewness);
+
+  std::vector<Item> items(config.items);
+  for (std::size_t i = 0; i < config.items; ++i) {
+    items[i].freq = freqs[i];
+    items[i].size = sample_item_size_model(rng, config);
+  }
+
+  if (config.shuffle_ranks) {
+    // Fisher–Yates over the items so that frequency rank is independent of
+    // input position (Database reassigns ids afterwards anyway).
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(rng.below(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  return Database(std::move(items));
+}
+
+}  // namespace dbs

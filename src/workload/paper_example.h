@@ -1,0 +1,44 @@
+// The worked example of the paper: the 15-item broadcast profile of Table 2,
+// together with the intermediate values reported in Tables 3 and 4. Used by
+// integration tests and by the table-reproduction bench.
+#pragma once
+
+#include <vector>
+
+#include "model/database.h"
+
+namespace dbs {
+
+/// Builds the Table 2 database. Item ids 0..14 correspond to the paper's
+/// d_1..d_15 (id = paper index − 1). Frequencies in the table already sum to
+/// exactly 1, so normalization leaves them unchanged.
+Database paper_table2_database();
+
+/// The paper's br-descending order of Table 3(a), as ids:
+/// d9 d2 d3 d6 d5 d15 d1 d12 d10 d13 d4 d8 d14 d7 d11.
+std::vector<ItemId> paper_table3_br_order();
+
+/// Reported total cost of the initial single group (Table 3a): 135.60.
+inline constexpr double kPaperInitialCost = 135.60;
+
+/// Reported group costs after DRP's first split (Table 3b): 29.04, 28.62.
+inline constexpr double kPaperFirstSplitCostA = 29.04;
+inline constexpr double kPaperFirstSplitCostB = 28.62;
+
+/// Reported cost of DRP's final 5-group result (Table 4a): 24.09.
+inline constexpr double kPaperDrpCost = 24.09;
+
+/// Reported best first CDS move: d10 from group 4 to group 2, Δc = 0.95,
+/// cost after = 23.13 (Table 4b).
+inline constexpr double kPaperCdsFirstGain = 0.95;
+inline constexpr double kPaperCdsAfterFirst = 23.13;
+
+/// Reported second CDS move: d12 from group 3 to group 2, Δc = 0.45,
+/// cost after = 22.68 (Table 4c).
+inline constexpr double kPaperCdsSecondGain = 0.45;
+inline constexpr double kPaperCdsAfterSecond = 22.68;
+
+/// Reported local optimum reached by CDS (Table 4d): 22.29.
+inline constexpr double kPaperCdsFinalCost = 22.29;
+
+}  // namespace dbs

@@ -1,0 +1,130 @@
+#include "air/index.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "common/check.h"
+#include "core/drp_cds.h"
+#include "model/cost.h"
+#include "workload/generator.h"
+
+namespace dbs {
+namespace {
+
+Allocation sample_alloc(std::uint64_t seed = 1) {
+  const WorkloadConfig cfg{.items = 60, .skewness = 0.9, .diversity = 2.0, .seed = seed};
+  // Allocation keeps a pointer to its Database; park the databases in a
+  // deque (stable addresses) that outlives the returned allocations.
+  static std::deque<Database> keep;
+  keep.push_back(generate_database(cfg));
+  return run_drp_cds(keep.back(), 4).allocation;
+}
+
+TEST(AirIndex, CycleTimeIncludesIndexCopies) {
+  const Database db({10.0, 20.0}, {0.5, 0.5});
+  const Allocation alloc(db, 1);
+  const IndexConfig cfg{.index_size = 2.0, .header_size = 0.1, .replication = 3};
+  const auto m = indexed_channel_metrics(alloc, 0, 10.0, cfg);
+  EXPECT_NEAR(m.cycle_time, (30.0 + 3 * 2.0) / 10.0, 1e-12);
+}
+
+TEST(AirIndex, HandComputedMetrics) {
+  // One channel, Z = 30, b = 10 -> D = 3. Index 2.0 -> I = 0.2, m = 1.
+  // access = (3/1 + 0.2)/2 + 0.2 + (3 + 0.2)/2 + download.
+  const Database db({10.0, 20.0}, {0.5, 0.5});
+  const Allocation alloc(db, 1);
+  const IndexConfig cfg{.index_size = 2.0, .header_size = 0.1, .replication = 1};
+  const auto m = indexed_channel_metrics(alloc, 0, 10.0, cfg);
+  const double download = (0.5 * 10.0 + 0.5 * 20.0) / 10.0;  // 1.5
+  EXPECT_NEAR(m.expected_access, 1.6 + 0.2 + 1.6 + download, 1e-12);
+  EXPECT_NEAR(m.expected_tuning, 0.01 + 0.2 + download, 1e-12);
+}
+
+TEST(AirIndex, TuningFarBelowAccessForBigChannels) {
+  const Allocation alloc = sample_alloc(2);
+  const IndexConfig cfg{.index_size = 1.0, .header_size = 0.05, .replication = 1};
+  for (ChannelId c = 0; c < alloc.channels(); ++c) {
+    if (alloc.count_of(c) == 0) continue;
+    const auto m = indexed_channel_metrics(alloc, c, 10.0, cfg);
+    EXPECT_LT(m.expected_tuning, m.expected_access);
+  }
+}
+
+TEST(AirIndex, MoreReplicationShortensProbeButLengthensCycle) {
+  const Allocation alloc = sample_alloc(3);
+  const IndexConfig base{.index_size = 1.0, .header_size = 0.05, .replication = 1};
+  IndexConfig more = base;
+  more.replication = 8;
+  const auto m1 = indexed_channel_metrics(alloc, 0, 10.0, base);
+  const auto m8 = indexed_channel_metrics(alloc, 0, 10.0, more);
+  EXPECT_GT(m8.cycle_time, m1.cycle_time);
+}
+
+TEST(AirIndex, OptimalReplicationIsLocalMinimum) {
+  const Allocation alloc = sample_alloc(4);
+  const IndexConfig cfg{.index_size = 0.5, .header_size = 0.05, .replication = 1};
+  for (ChannelId c = 0; c < alloc.channels(); ++c) {
+    if (alloc.count_of(c) == 0) continue;
+    const std::size_t m_star = optimal_replication(alloc, c, 10.0, cfg);
+    auto access = [&](std::size_t m) {
+      IndexConfig x = cfg;
+      x.replication = m;
+      return indexed_channel_metrics(alloc, c, 10.0, x).expected_access;
+    };
+    EXPECT_LE(access(m_star), access(m_star + 1) + 1e-12);
+    if (m_star > 1) {
+      EXPECT_LE(access(m_star), access(m_star - 1) + 1e-12);
+    }
+  }
+}
+
+TEST(AirIndex, OptimalReplicationNearSqrtRule) {
+  // D/I = 100 -> m* ≈ 10.
+  const Database db(std::vector<double>(10, 10.0), std::vector<double>(10, 0.1));
+  const Allocation alloc(db, 1);
+  const IndexConfig cfg{.index_size = 1.0, .header_size = 0.05, .replication = 1};
+  const std::size_t m_star = optimal_replication(alloc, 0, 10.0, cfg);
+  EXPECT_GE(m_star, 9u);
+  EXPECT_LE(m_star, 11u);
+}
+
+TEST(AirIndex, ProgramAccessIsFrequencyWeighted) {
+  const Allocation alloc = sample_alloc(5);
+  const IndexConfig cfg{.index_size = 1.0, .header_size = 0.05, .replication = 1};
+  double manual = 0.0;
+  for (ChannelId c = 0; c < alloc.channels(); ++c) {
+    if (alloc.count_of(c) == 0) continue;
+    IndexConfig tuned = cfg;
+    tuned.replication = optimal_replication(alloc, c, 10.0, cfg);
+    manual += alloc.freq_of(c) *
+              indexed_channel_metrics(alloc, c, 10.0, tuned).expected_access;
+  }
+  EXPECT_NEAR(indexed_program_access(alloc, 10.0, cfg), manual, 1e-12);
+}
+
+TEST(AirIndex, IndexedAccessExceedsUnindexedWait) {
+  // The index costs air time, so indexed access latency is above the plain
+  // W_b while tuning time is far below it.
+  const Database db = generate_database({.items = 80, .skewness = 0.8,
+                                         .diversity = 2.0, .seed = 6});
+  const Allocation alloc = run_drp_cds(db, 5).allocation;
+  const IndexConfig cfg{.index_size = 1.0, .header_size = 0.05, .replication = 1};
+  const double wb = program_waiting_time(alloc, 10.0);
+  EXPECT_GT(indexed_program_access(alloc, 10.0, cfg), wb);
+  EXPECT_LT(indexed_program_tuning(alloc, 10.0, cfg), wb);
+}
+
+TEST(AirIndex, RejectsBadInputs) {
+  const Database db({1.0, 1.0}, {0.5, 0.5});
+  const Allocation alloc(db, 2, {0, 0});
+  const IndexConfig cfg{.index_size = 1.0, .header_size = 0.0, .replication = 1};
+  EXPECT_THROW(indexed_channel_metrics(alloc, 1, 10.0, cfg), ContractViolation);
+  EXPECT_THROW(indexed_channel_metrics(alloc, 0, 0.0, cfg), ContractViolation);
+  IndexConfig zero_m = cfg;
+  zero_m.replication = 0;
+  EXPECT_THROW(indexed_channel_metrics(alloc, 0, 10.0, zero_m), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dbs

@@ -1,0 +1,99 @@
+#include "model/allocation_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/drp_cds.h"
+#include "workload/generator.h"
+
+namespace dbs {
+namespace {
+
+TEST(AllocationIo, RoundTrip) {
+  const Database db = generate_database({.items = 30, .diversity = 2.0, .seed = 1});
+  const Allocation original = run_drp_cds(db, 4).allocation;
+  std::ostringstream out;
+  store_allocation(out, original, 12.5);
+  std::istringstream in(out.str());
+  const StoredAllocation loaded = load_allocation(in, db);
+  EXPECT_EQ(loaded.allocation.assignment(), original.assignment());
+  EXPECT_DOUBLE_EQ(loaded.bandwidth, 12.5);
+  EXPECT_DOUBLE_EQ(loaded.allocation.cost(), original.cost());
+}
+
+TEST(AllocationIo, IgnoresCommentsAndBlankLines) {
+  const Database db({1.0, 2.0}, {0.5, 0.5});
+  std::istringstream in(
+      "# header comment\n"
+      "\n"
+      "channels 2\n"
+      "bandwidth 5\n"
+      "item 0 1\n"
+      "# middle comment\n"
+      "item 1 0\n");
+  const StoredAllocation loaded = load_allocation(in, db);
+  EXPECT_EQ(loaded.allocation.channel_of(0), 1u);
+  EXPECT_EQ(loaded.allocation.channel_of(1), 0u);
+}
+
+TEST(AllocationIo, DetectsMissingAssignment) {
+  const Database db({1.0, 2.0}, {0.5, 0.5});
+  std::istringstream in("channels 2\nbandwidth 5\nitem 0 0\n");
+  EXPECT_THROW(load_allocation(in, db), std::runtime_error);
+}
+
+TEST(AllocationIo, DetectsDuplicateAssignment) {
+  const Database db({1.0, 2.0}, {0.5, 0.5});
+  std::istringstream in(
+      "channels 2\nbandwidth 5\nitem 0 0\nitem 0 1\nitem 1 0\n");
+  EXPECT_THROW(load_allocation(in, db), std::runtime_error);
+}
+
+TEST(AllocationIo, DetectsOutOfRangeChannelAndItem) {
+  const Database db({1.0, 2.0}, {0.5, 0.5});
+  {
+    std::istringstream in("channels 2\nbandwidth 5\nitem 0 7\nitem 1 0\n");
+    EXPECT_THROW(load_allocation(in, db), std::runtime_error);
+  }
+  {
+    std::istringstream in("channels 2\nbandwidth 5\nitem 9 0\nitem 1 0\n");
+    EXPECT_THROW(load_allocation(in, db), std::runtime_error);
+  }
+}
+
+TEST(AllocationIo, RequiresHeaderBeforeItems) {
+  const Database db({1.0}, {1.0});
+  std::istringstream in("item 0 0\nchannels 1\nbandwidth 5\n");
+  EXPECT_THROW(load_allocation(in, db), std::runtime_error);
+}
+
+TEST(AllocationIo, RejectsUnknownKeywordAndBadValues) {
+  const Database db({1.0}, {1.0});
+  {
+    std::istringstream in("wibble 3\n");
+    EXPECT_THROW(load_allocation(in, db), std::runtime_error);
+  }
+  {
+    std::istringstream in("channels 0\n");
+    EXPECT_THROW(load_allocation(in, db), std::runtime_error);
+  }
+  {
+    std::istringstream in("channels 1\nbandwidth -2\nitem 0 0\n");
+    EXPECT_THROW(load_allocation(in, db), std::runtime_error);
+  }
+}
+
+TEST(AllocationIo, ErrorsCarryLineNumbers) {
+  const Database db({1.0}, {1.0});
+  std::istringstream in("channels 1\nbandwidth 5\nitem zero 0\n");
+  try {
+    load_allocation(in, db);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace dbs

@@ -1,0 +1,185 @@
+#include "core/cds.h"
+
+#include <gtest/gtest.h>
+
+#include "core/drp.h"
+#include "workload/generator.h"
+
+namespace dbs {
+namespace {
+
+TEST(BestMove, FindsKnownImprovement) {
+  // Channel 0 = {popular small d0, huge cold d2}, channel 1 = {popular small
+  // d1}. By Eq. (4) the best move is d0 → channel 1 with
+  // Δc = 0.45·(101−1) + 1·(0.55−0.45) − 2·0.45·1 = 44.2 (moving the huge item
+  // instead gains exactly 0).
+  const Database db({1.0, 1.0, 100.0}, {0.45, 0.45, 0.10});
+  Allocation alloc(db, 2, {0, 1, 0});
+  const CdsMove move = best_move(alloc);
+  EXPECT_EQ(move.item, 0u);
+  EXPECT_EQ(move.from, 0u);
+  EXPECT_EQ(move.to, 1u);
+  EXPECT_NEAR(move.gain, 44.2, 1e-9);
+  EXPECT_NEAR(alloc.move_gain(2, 1), 0.0, 1e-12);
+}
+
+TEST(BestMove, GainAgreesWithAllocationMoveGain) {
+  const Database db = generate_database({.items = 30, .seed = 1});
+  Allocation alloc = run_drp(db, 4).allocation;
+  const CdsMove move = best_move(alloc);
+  EXPECT_DOUBLE_EQ(move.gain, alloc.move_gain(move.item, move.to));
+}
+
+TEST(BestMove, AtLocalOptimumGainIsNonPositive) {
+  const Database db = generate_database({.items = 25, .seed = 2});
+  Allocation alloc = run_drp(db, 3).allocation;
+  run_cds(alloc);
+  EXPECT_LE(best_move(alloc).gain, 1e-12);
+}
+
+TEST(Cds, CostNeverIncreasesAndConverges) {
+  const Database db = generate_database({.items = 100, .skewness = 1.0,
+                                         .diversity = 2.0, .seed = 3});
+  Allocation alloc = run_drp(db, 6).allocation;
+  const double before = alloc.cost();
+  const CdsStats stats = run_cds(alloc);
+  EXPECT_LE(alloc.cost(), before + 1e-12);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_DOUBLE_EQ(stats.initial_cost, before);
+  EXPECT_NEAR(stats.final_cost, alloc.cost(), 1e-12);
+  EXPECT_NEAR(stats.total_reduction(), before - alloc.cost(), 1e-12);
+}
+
+TEST(Cds, EachIterationStrictlyDecreasesCost) {
+  const Database db = generate_database({.items = 60, .diversity = 2.0, .seed = 4});
+  Allocation alloc = run_drp(db, 5).allocation;
+  double prev = alloc.cost();
+  // Step manually: one iteration at a time.
+  for (int step = 0; step < 1000; ++step) {
+    CdsOptions one;
+    one.max_iterations = 1;
+    const CdsStats stats = run_cds(alloc, one);
+    if (stats.iterations == 0) break;
+    EXPECT_LT(alloc.cost(), prev);
+    prev = alloc.cost();
+  }
+  EXPECT_LE(best_move(alloc).gain, 1e-12);
+}
+
+TEST(Cds, IdempotentAtLocalOptimum) {
+  const Database db = generate_database({.items = 40, .seed = 5});
+  Allocation alloc = run_drp(db, 4).allocation;
+  run_cds(alloc);
+  const auto frozen = alloc.assignment();
+  const CdsStats again = run_cds(alloc);
+  EXPECT_EQ(again.iterations, 0u);
+  EXPECT_EQ(alloc.assignment(), frozen);
+}
+
+TEST(Cds, RespectsIterationBudget) {
+  const Database db = generate_database({.items = 150, .skewness = 0.4,
+                                         .diversity = 3.0, .seed = 6});
+  Allocation alloc(db, 8);  // everything on channel 0: far from optimal
+  // Distribute something first so moves exist both ways.
+  CdsOptions capped;
+  capped.max_iterations = 3;
+  const CdsStats stats = run_cds(alloc, capped);
+  EXPECT_LE(stats.iterations, 3u);
+}
+
+TEST(Cds, FirstImprovementReachesLocalOptimumToo) {
+  const Database db = generate_database({.items = 70, .diversity = 2.0, .seed = 7});
+  Allocation best_alloc = run_drp(db, 5).allocation;
+  Allocation first_alloc = best_alloc;
+  run_cds(best_alloc, {.policy = CdsPolicy::kBestImprovement});
+  run_cds(first_alloc, {.policy = CdsPolicy::kFirstImprovement});
+  // Both are local optima of the same neighbourhood.
+  EXPECT_LE(best_move(best_alloc).gain, 1e-12);
+  EXPECT_LE(best_move(first_alloc).gain, 1e-12);
+}
+
+TEST(Cds, ImprovesAPoorStartSubstantially) {
+  // All items on one channel with K available: CDS alone must spread them.
+  const Database db = generate_database({.items = 50, .skewness = 1.0,
+                                         .diversity = 1.5, .seed = 8});
+  Allocation alloc(db, 5);
+  const double before = alloc.cost();
+  run_cds(alloc);
+  EXPECT_LT(alloc.cost(), 0.8 * before);
+  // No channel may end up with everything if spreading helps.
+  std::size_t nonempty = 0;
+  for (ChannelId c = 0; c < 5; ++c) nonempty += alloc.count_of(c) > 0;
+  EXPECT_GT(nonempty, 1u);
+}
+
+TEST(Cds, SingleChannelNothingToDo) {
+  const Database db = generate_database({.items = 10, .seed = 9});
+  Allocation alloc(db, 1);
+  const CdsStats stats = run_cds(alloc);
+  EXPECT_EQ(stats.iterations, 0u);
+}
+
+TEST(Cds, SingleItemNothingToDo) {
+  const Database db({5.0}, {1.0});
+  Allocation alloc(db, 1);
+  EXPECT_EQ(run_cds(alloc).iterations, 0u);
+}
+
+TEST(CdsIndexed, ProducesIdenticalResultToScanEngine) {
+  // The indexed engine must replay the exact same move sequence, ending in
+  // the identical assignment — across a spread of shapes.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Database db = generate_database({.items = 60 + seed * 15,
+                                           .skewness = 0.6 + 0.1 * seed,
+                                           .diversity = 2.0, .seed = seed});
+    const ChannelId k = static_cast<ChannelId>(3 + seed);
+    Allocation scan = run_drp(db, k).allocation;
+    Allocation indexed = scan;
+    const CdsStats s1 = run_cds(scan, {.engine = CdsEngine::kScan});
+    const CdsStats s2 = run_cds(indexed, {.engine = CdsEngine::kIndexed});
+    EXPECT_EQ(scan.assignment(), indexed.assignment()) << "seed " << seed;
+    EXPECT_EQ(s1.iterations, s2.iterations) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(s1.final_cost, s2.final_cost) << "seed " << seed;
+  }
+}
+
+TEST(CdsIndexed, IdenticalFromArbitraryStartsToo) {
+  const Database db = generate_database({.items = 90, .diversity = 2.5, .seed = 31});
+  Rng rng(5);
+  std::vector<ChannelId> start(db.size());
+  for (auto& c : start) c = static_cast<ChannelId>(rng.below(7));
+  Allocation scan(db, 7, start);
+  Allocation indexed = scan;
+  run_cds(scan, {.engine = CdsEngine::kScan});
+  run_cds(indexed, {.engine = CdsEngine::kIndexed});
+  EXPECT_EQ(scan.assignment(), indexed.assignment());
+}
+
+TEST(CdsIndexed, SingleChannelNoop) {
+  const Database db = generate_database({.items = 10, .seed = 32});
+  Allocation alloc(db, 1);
+  const CdsStats stats = run_cds(alloc, {.engine = CdsEngine::kIndexed});
+  EXPECT_EQ(stats.iterations, 0u);
+  EXPECT_TRUE(stats.converged);
+}
+
+TEST(CdsIndexed, RespectsIterationBudget) {
+  const Database db = generate_database({.items = 120, .diversity = 2.0, .seed = 33});
+  Allocation alloc(db, 6);
+  CdsOptions capped;
+  capped.engine = CdsEngine::kIndexed;
+  capped.max_iterations = 2;
+  EXPECT_LE(run_cds(alloc, capped).iterations, 2u);
+}
+
+TEST(Cds, AllocationStaysValidThroughout) {
+  const Database db = generate_database({.items = 80, .diversity = 2.5, .seed = 10});
+  Allocation alloc = run_drp(db, 7).allocation;
+  run_cds(alloc);
+  std::string error;
+  EXPECT_TRUE(alloc.validate(&error)) << error;
+  EXPECT_NEAR(alloc.cost(), alloc.cost_recomputed(), 1e-9);
+}
+
+}  // namespace
+}  // namespace dbs

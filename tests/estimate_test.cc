@@ -1,0 +1,114 @@
+#include "workload/estimate.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/check.h"
+#include "workload/generator.h"
+
+namespace dbs {
+namespace {
+
+TEST(Estimate, SumsToOne) {
+  const std::vector<Request> window = {{0.0, 0}, {1.0, 1}, {2.0, 1}};
+  for (double alpha : {0.0, 0.5, 1.0, 5.0}) {
+    const auto f = estimate_frequencies(window, 4, alpha);
+    EXPECT_NEAR(std::accumulate(f.begin(), f.end(), 0.0), 1.0, 1e-12)
+        << "alpha=" << alpha;
+  }
+}
+
+TEST(Estimate, RawMleMatchesCounts) {
+  const std::vector<Request> window = {{0.0, 0}, {1.0, 1}, {2.0, 1}, {3.0, 1}};
+  const auto f = estimate_frequencies(window, 3, 0.0);
+  EXPECT_DOUBLE_EQ(f[0], 0.25);
+  EXPECT_DOUBLE_EQ(f[1], 0.75);
+  EXPECT_DOUBLE_EQ(f[2], 0.0);
+}
+
+TEST(Estimate, SmoothingKeepsUnseenItemsPositive) {
+  const std::vector<Request> window = {{0.0, 0}};
+  const auto f = estimate_frequencies(window, 3, 1.0);
+  EXPECT_GT(f[1], 0.0);
+  EXPECT_GT(f[2], 0.0);
+  EXPECT_GT(f[0], f[1]);
+}
+
+TEST(Estimate, EmptyWindowWithSmoothingIsUniform) {
+  const auto f = estimate_frequencies({}, 5, 1.0);
+  for (double v : f) EXPECT_NEAR(v, 0.2, 1e-12);
+}
+
+TEST(Estimate, ConvergesToTrueFrequencies) {
+  const Database db = generate_database(
+      {.items = 20, .skewness = 1.0, .seed = 1, .shuffle_ranks = false});
+  const auto trace = generate_trace(db, {.requests = 200000, .seed = 2});
+  const auto f = estimate_frequencies(trace, db.size(), 1.0);
+  for (ItemId id = 0; id < db.size(); ++id) {
+    EXPECT_NEAR(f[id], db.item(id).freq, 0.01) << "item " << id;
+  }
+}
+
+TEST(Estimate, RejectsBadInput) {
+  EXPECT_THROW(estimate_frequencies({}, 0, 1.0), ContractViolation);
+  EXPECT_THROW(estimate_frequencies({}, 3, 0.0), ContractViolation);
+  EXPECT_THROW(estimate_frequencies({{0.0, 9}}, 3, 1.0), ContractViolation);
+  EXPECT_THROW(estimate_frequencies({{0.0, 0}}, 3, -1.0), ContractViolation);
+}
+
+TEST(Tracker, StartsUniform) {
+  const FrequencyTracker tracker(4);
+  for (double f : tracker.frequencies()) EXPECT_DOUBLE_EQ(f, 0.25);
+  EXPECT_EQ(tracker.windows_observed(), 0u);
+}
+
+TEST(Tracker, FullGainForgetsThePast) {
+  FrequencyTracker tracker(2, /*gain=*/1.0, /*alpha=*/0.0);
+  tracker.observe({{0.0, 0}, {1.0, 0}});
+  EXPECT_DOUBLE_EQ(tracker.frequencies()[0], 1.0);
+  tracker.observe({{2.0, 1}, {3.0, 1}});
+  EXPECT_DOUBLE_EQ(tracker.frequencies()[0], 0.0);
+  EXPECT_DOUBLE_EQ(tracker.frequencies()[1], 1.0);
+}
+
+TEST(Tracker, SmallGainSmoothsDrift) {
+  FrequencyTracker tracker(2, /*gain=*/0.25, /*alpha=*/0.0);
+  tracker.observe({{0.0, 0}});  // all mass on item 0 this window
+  // estimate = 0.75 * uniform(0.5) + 0.25 * [1, 0].
+  EXPECT_NEAR(tracker.frequencies()[0], 0.625, 1e-12);
+  EXPECT_NEAR(tracker.frequencies()[1], 0.375, 1e-12);
+}
+
+TEST(Tracker, TracksDriftingPopularity) {
+  // Popularity flips between two items; the tracker must follow.
+  FrequencyTracker tracker(2, 0.5, 1.0);
+  for (int w = 0; w < 6; ++w) tracker.observe({{0.0, 0}, {1.0, 0}, {2.0, 0}});
+  EXPECT_GT(tracker.frequencies()[0], 0.7);
+  for (int w = 0; w < 6; ++w) tracker.observe({{0.0, 1}, {1.0, 1}, {2.0, 1}});
+  EXPECT_GT(tracker.frequencies()[1], 0.7);
+  EXPECT_EQ(tracker.windows_observed(), 12u);
+}
+
+TEST(Tracker, EstimateStaysNormalized) {
+  FrequencyTracker tracker(5, 0.4, 1.0);
+  Rng rng(3);
+  for (int w = 0; w < 10; ++w) {
+    std::vector<Request> window;
+    for (int i = 0; i < 20; ++i) {
+      window.push_back({static_cast<double>(i), static_cast<ItemId>(rng.below(5))});
+    }
+    tracker.observe(window);
+    const auto& f = tracker.frequencies();
+    EXPECT_NEAR(std::accumulate(f.begin(), f.end(), 0.0), 1.0, 1e-9);
+  }
+}
+
+TEST(Tracker, RejectsBadGain) {
+  EXPECT_THROW(FrequencyTracker(3, 0.0), ContractViolation);
+  EXPECT_THROW(FrequencyTracker(3, 1.5), ContractViolation);
+  EXPECT_THROW(FrequencyTracker(0, 0.5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dbs

@@ -1,0 +1,139 @@
+#include "air/indexed_program.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/drp_cds.h"
+#include "model/cost.h"
+#include "workload/generator.h"
+
+namespace dbs {
+namespace {
+
+const IndexConfig kIndex{.index_size = 1.0, .header_size = 0.05, .replication = 1};
+
+Allocation one_channel(const Database& db) { return Allocation(db, 1); }
+
+TEST(IndexedProgram, CycleIncludesIndexSegments) {
+  const Database db({10.0, 10.0, 10.0}, {0.4, 0.3, 0.3});
+  const Allocation alloc = one_channel(db);
+  IndexConfig cfg = kIndex;
+  cfg.replication = 3;
+  const IndexedProgram program(alloc, 10.0, cfg);
+  // Data 3s + 3 index segments of 0.1s.
+  EXPECT_NEAR(program.cycle_time(0), 3.3, 1e-12);
+  EXPECT_EQ(program.replication_of(0), 3u);
+}
+
+TEST(IndexedProgram, ReplicationCappedByItemCount) {
+  const Database db({1.0, 1.0}, {0.5, 0.5});
+  const Allocation alloc = one_channel(db);
+  IndexConfig cfg = kIndex;
+  cfg.replication = 10;
+  const IndexedProgram program(alloc, 10.0, cfg);
+  EXPECT_LE(program.replication_of(0), 2u);
+}
+
+TEST(IndexedProgram, HandComputedReplay) {
+  // One channel, b=10, index 1.0 (0.1s), header 0.05 (0.005s), m=1.
+  // Layout: IDX [0, 0.1), item0 [0.1, 1.1), item1 [1.1, 3.1). Cycle 3.1.
+  const Database db({10.0, 20.0}, {0.5, 0.5});
+  const Allocation alloc = one_channel(db);
+  const IndexedProgram program(alloc, 10.0, kIndex);
+  // Client at t=0 wanting item0: header till 0.005, next index at 3.1 (the
+  // t=0 index already started), index till 3.2, item0 at 3.2 -> done 4.2.
+  {
+    const auto r = program.replay_request(0, 0.0);
+    EXPECT_NEAR(r.access, 4.2, 1e-9);
+    EXPECT_NEAR(r.tuning, 0.005 + 0.1 + 1.0, 1e-12);
+  }
+  // Client just before the cycle's index: t = 3.0; header to 3.005, index at
+  // 3.1 -> read till 3.2 -> item0 at 3.2, done 4.2 -> access 1.2.
+  {
+    const auto r = program.replay_request(0, 3.0);
+    EXPECT_NEAR(r.access, 1.2, 1e-9);
+  }
+  // Item1: t=3.0 -> index read ends 3.2, item1 starts 4.2 (3.1+1.1), done 6.2
+  // -> access 3.2.
+  {
+    const auto r = program.replay_request(1, 3.0);
+    EXPECT_NEAR(r.access, 3.2, 1e-9);
+  }
+}
+
+TEST(IndexedProgram, TuningIsHeaderPlusIndexPlusDownload) {
+  const Database db = generate_database({.items = 30, .diversity = 1.5, .seed = 1});
+  const Allocation alloc = run_drp_cds(db, 3).allocation;
+  const IndexedProgram program(alloc, 10.0, kIndex);
+  const auto trace = generate_trace(db, {.requests = 200, .seed = 2});
+  for (const Request& r : trace) {
+    const auto outcome = program.replay_request(r.item, r.time);
+    const double expected =
+        (kIndex.header_size + kIndex.index_size + db.item(r.item).size) / 10.0;
+    EXPECT_NEAR(outcome.tuning, expected, 1e-12);
+  }
+}
+
+TEST(IndexedProgram, EmpiricalAccessTracksAnalyticModel) {
+  // The analytic (1,m) model of air/index.h should predict the replayed
+  // access latency within ~15% (it idealizes the post-index wait).
+  const Database db = generate_database({.items = 60, .skewness = 0.8,
+                                         .diversity = 1.5, .seed = 3});
+  const Allocation alloc = run_drp_cds(db, 4).allocation;
+  for (std::size_t m : {1u, 2u, 4u}) {
+    IndexConfig cfg = kIndex;
+    cfg.replication = m;
+    const IndexedProgram program(alloc, 10.0, cfg);
+    const auto trace = generate_trace(db, {.requests = 40000, .arrival_rate = 20.0,
+                                           .seed = 4});
+    const IndexedSimReport report = program.replay(trace);
+    double analytic = 0.0;
+    for (ChannelId c = 0; c < alloc.channels(); ++c) {
+      if (alloc.count_of(c) == 0) continue;
+      analytic += alloc.freq_of(c) *
+                  indexed_channel_metrics(alloc, c, 10.0, cfg).expected_access;
+    }
+    EXPECT_NEAR(report.access.mean, analytic, 0.15 * analytic) << "m=" << m;
+  }
+}
+
+TEST(IndexedProgram, MoreReplicationCutsEmpiricalAccessOnLargeChannels) {
+  const Database db = generate_database({.items = 80, .skewness = 0.8,
+                                         .diversity = 2.0, .seed = 5});
+  const Allocation alloc = run_drp_cds(db, 4).allocation;
+  const auto trace = generate_trace(db, {.requests = 20000, .arrival_rate = 10.0,
+                                         .seed = 6});
+  IndexConfig m1 = kIndex;
+  IndexConfig m4 = kIndex;
+  m4.replication = 4;
+  const double a1 = IndexedProgram(alloc, 10.0, m1).replay(trace).access.mean;
+  const double a4 = IndexedProgram(alloc, 10.0, m4).replay(trace).access.mean;
+  EXPECT_LT(a4, a1);
+}
+
+TEST(IndexedProgram, TuningFarBelowAlwaysListening) {
+  const Database db = generate_database({.items = 60, .diversity = 2.0, .seed = 7});
+  const Allocation alloc = run_drp_cds(db, 4).allocation;
+  const IndexedProgram program(alloc, 10.0, kIndex, /*optimal_m=*/true);
+  const auto trace = generate_trace(db, {.requests = 10000, .seed = 8});
+  const IndexedSimReport report = program.replay(trace);
+  // Always-listening tuning time = full access latency ≥ W_b; selective
+  // tuning should be an order of magnitude below.
+  EXPECT_LT(report.tuning.mean, 0.4 * program_waiting_time(alloc, 10.0));
+  EXPECT_LT(report.tuning.mean, report.access.mean);
+}
+
+TEST(IndexedProgram, RejectsBadConfig) {
+  const Database db({1.0}, {1.0});
+  const Allocation alloc(db, 1);
+  IndexConfig bad = kIndex;
+  bad.index_size = 0.0;
+  EXPECT_THROW(IndexedProgram(alloc, 10.0, bad), ContractViolation);
+  EXPECT_THROW(IndexedProgram(alloc, 0.0, kIndex), ContractViolation);
+  IndexConfig zero_m = kIndex;
+  zero_m.replication = 0;
+  EXPECT_THROW(IndexedProgram(alloc, 10.0, zero_m), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dbs

@@ -1,0 +1,148 @@
+// End-to-end integration: workload generation → scheduling → physical
+// broadcast program → discrete-event simulation → empirical metrics, plus
+// the paper's qualitative experimental claims on small replicas of its
+// experiment grid.
+#include <gtest/gtest.h>
+
+#include "api/scheduler.h"
+#include "baselines/gopt.h"
+#include "baselines/vfk.h"
+#include "core/drp_cds.h"
+#include "model/cost.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+
+namespace dbs {
+namespace {
+
+GoptOptions test_gopt(std::uint64_t seed) {
+  GoptOptions o;
+  o.population = 80;
+  o.generations = 250;
+  o.stall_generations = 80;
+  o.seed = seed;
+  return o;
+}
+
+TEST(Integration, FullPipelineEndsWithServedRequests) {
+  const Database db = generate_database({.items = 80, .skewness = 1.0,
+                                         .diversity = 2.0, .seed = 1});
+  ScheduleRequest request;
+  request.algorithm = Algorithm::kDrpCds;
+  request.channels = 5;
+  const ScheduleResult scheduled = schedule(db, request);
+  const BroadcastProgram program(scheduled.allocation, request.bandwidth);
+  const auto trace = generate_trace(db, {.requests = 5000, .arrival_rate = 10.0, .seed = 2});
+  const SimReport report = simulate(program, trace);
+  EXPECT_EQ(report.requests_served, trace.size());
+  EXPECT_GT(report.mean_wait(), 0.0);
+  // Sanity: empirical within 25% of analytic even at this trace length.
+  EXPECT_NEAR(report.mean_wait(), scheduled.waiting_time,
+              0.25 * scheduled.waiting_time);
+}
+
+TEST(Integration, Figure2Shape_WaitFallsWithK_AndDrpCdsNearGopt) {
+  const Database db = generate_database({.items = 120, .skewness = 0.8,
+                                         .diversity = 2.0, .seed = 3});
+  double prev_drpcds = 1e18;
+  for (ChannelId k : {4u, 6u, 8u, 10u}) {
+    const double drpcds = program_waiting_time(run_drp_cds(db, k).allocation, 10.0);
+    const double gopt =
+        program_waiting_time(run_gopt(db, k, test_gopt(k)).allocation, 10.0);
+    EXPECT_LT(drpcds, prev_drpcds) << "W_b must fall as K grows";
+    prev_drpcds = drpcds;
+    // Paper: DRP-CDS within ~3% of the (near-)optimal GOPT; allow 6% slack
+    // for our reduced GA budget.
+    EXPECT_LE(drpcds, 1.06 * gopt) << "K=" << k;
+    EXPECT_GE(drpcds, gopt - 1e-9) << "GOPT seeded with DRP cannot be worse";
+  }
+}
+
+TEST(Integration, Figure3Shape_WaitGrowsWithN) {
+  double prev = 0.0;
+  for (std::size_t n : {60u, 100u, 140u, 180u}) {
+    const Database db = generate_database({.items = n, .skewness = 0.8,
+                                           .diversity = 2.0, .seed = 4});
+    const double w = program_waiting_time(run_drp_cds(db, 6).allocation, 10.0);
+    EXPECT_GT(w, prev) << "N=" << n;
+    prev = w;
+  }
+}
+
+TEST(Integration, Figure4Shape_DiversityHurtsVfkMost) {
+  // At Φ=0, VF^K is optimal (equal sizes); at Φ=3 it must trail DRP-CDS.
+  const Database flat_db = generate_database({.items = 120, .skewness = 0.8,
+                                              .diversity = 0.0, .seed = 5});
+  EXPECT_LE(run_vfk(flat_db, 6).cost(), run_drp_cds(flat_db, 6).final_cost + 1e-9);
+
+  double vfk_sum = 0.0, drp_sum = 0.0;
+  for (std::uint64_t seed = 6; seed <= 10; ++seed) {
+    const Database db = generate_database({.items = 120, .skewness = 0.8,
+                                           .diversity = 3.0, .seed = seed});
+    vfk_sum += program_waiting_time(run_vfk(db, 6), 10.0);
+    drp_sum += program_waiting_time(run_drp_cds(db, 6).allocation, 10.0);
+  }
+  EXPECT_GT(vfk_sum, 1.05 * drp_sum);
+}
+
+TEST(Integration, Figure5Shape_WaitFallsWithSkewness) {
+  double prev = 1e18;
+  for (double theta : {0.4, 0.8, 1.2, 1.6}) {
+    // Average a few seeds: single draws are noisy in item sizes.
+    double sum = 0.0;
+    for (std::uint64_t seed = 11; seed <= 14; ++seed) {
+      const Database db = generate_database({.items = 120, .skewness = theta,
+                                             .diversity = 2.0,
+                                             .seed = seed});
+      sum += program_waiting_time(run_drp_cds(db, 6).allocation, 10.0);
+    }
+    EXPECT_LT(sum, prev) << "theta=" << theta;
+    prev = sum;
+  }
+}
+
+TEST(Integration, Figure6And7Shape_DrpCdsOrdersOfMagnitudeFasterThanGopt) {
+  const Database db = generate_database({.items = 120, .skewness = 0.8,
+                                         .diversity = 2.0, .seed = 15});
+  ScheduleRequest fast;
+  fast.algorithm = Algorithm::kDrpCds;
+  fast.channels = 6;
+  ScheduleRequest slow = fast;
+  slow.algorithm = Algorithm::kGopt;
+  slow.gopt = test_gopt(15);
+  const double fast_ms = schedule(db, fast).elapsed_ms;
+  const double slow_ms = schedule(db, slow).elapsed_ms;
+  EXPECT_LT(fast_ms * 5.0, slow_ms)
+      << "DRP-CDS " << fast_ms << "ms vs GOPT " << slow_ms << "ms";
+}
+
+TEST(Integration, DrpAloneExcellentAtPowersOfTwo) {
+  // Paper §4.2: the DRP→DRP-CDS improvement is subtle at K = 2^n (items split
+  // evenly), pronounced otherwise. Check the relative CDS gain at K=8 is
+  // smaller than at K=6 on average.
+  double gain_pow2 = 0.0, gain_other = 0.0;
+  for (std::uint64_t seed = 16; seed <= 25; ++seed) {
+    const Database db = generate_database({.items = 120, .skewness = 0.8,
+                                           .diversity = 2.0, .seed = seed});
+    const DrpCdsResult at8 = run_drp_cds(db, 8);
+    const DrpCdsResult at6 = run_drp_cds(db, 6);
+    gain_pow2 += (at8.drp_cost - at8.final_cost) / at8.drp_cost;
+    gain_other += (at6.drp_cost - at6.final_cost) / at6.drp_cost;
+  }
+  EXPECT_LT(gain_pow2, gain_other);
+}
+
+TEST(Integration, SimulatedWaitRanksAlgorithmsLikeAnalyticCost) {
+  const Database db = generate_database({.items = 100, .skewness = 1.0,
+                                         .diversity = 2.5, .seed = 26});
+  const auto trace = generate_trace(db, {.requests = 20000, .arrival_rate = 10.0, .seed = 27});
+  auto empirical = [&](const Allocation& alloc) {
+    return simulate(BroadcastProgram(alloc, 10.0), trace).mean_wait();
+  };
+  const double w_drpcds = empirical(run_drp_cds(db, 6).allocation);
+  const double w_vfk = empirical(run_vfk(db, 6));
+  EXPECT_LT(w_drpcds, w_vfk);
+}
+
+}  // namespace
+}  // namespace dbs

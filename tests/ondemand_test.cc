@@ -1,0 +1,141 @@
+#include "ondemand/server.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "workload/generator.h"
+
+namespace dbs {
+namespace {
+
+TEST(OnDemand, PolicyNamesRoundTrip) {
+  for (OnDemandPolicy p : all_ondemand_policies()) {
+    EXPECT_NE(ondemand_policy_name(p), "unknown");
+  }
+  EXPECT_EQ(all_ondemand_policies().size(), 5u);
+}
+
+TEST(OnDemand, EmptyTrace) {
+  const Database db({1.0}, {1.0});
+  const OnDemandReport r = run_ondemand(db, {}, {});
+  EXPECT_EQ(r.requests_served, 0u);
+  EXPECT_EQ(r.broadcasts, 0u);
+}
+
+TEST(OnDemand, SingleRequestHandComputed) {
+  const Database db({10.0, 20.0}, {0.5, 0.5});
+  // Request at t=1 for item 1 (service 2s at b=10): starts immediately,
+  // completes at 3, wait 2, stretch 1.
+  const OnDemandReport r =
+      run_ondemand(db, {{1.0, 1}}, {.policy = OnDemandPolicy::kFcfs});
+  EXPECT_EQ(r.requests_served, 1u);
+  EXPECT_EQ(r.broadcasts, 1u);
+  EXPECT_NEAR(r.waiting.mean, 2.0, 1e-12);
+  EXPECT_NEAR(r.stretch.mean, 1.0, 1e-12);
+  EXPECT_NEAR(r.makespan, 3.0, 1e-12);
+}
+
+TEST(OnDemand, BatchingServesManyWithOneBroadcast) {
+  const Database db({100.0, 1.0}, {0.5, 0.5});
+  // Item 0 takes 10s. First request at t=0 starts it; requests arriving
+  // during [0,10) for item 0 must be batched into the *next* broadcast.
+  std::vector<Request> trace = {{0.0, 0}, {1.0, 0}, {2.0, 0}, {3.0, 0}};
+  const OnDemandReport r = run_ondemand(db, trace, {.policy = OnDemandPolicy::kMrf});
+  EXPECT_EQ(r.requests_served, 4u);
+  EXPECT_EQ(r.broadcasts, 2u);  // one for the first, one batching the rest
+  // First wait: 10. Others: complete at 20 -> waits 19, 18, 17.
+  EXPECT_NEAR(r.waiting.max, 19.0, 1e-9);
+  EXPECT_NEAR(r.makespan, 20.0, 1e-9);
+}
+
+TEST(OnDemand, FcfsOrdersByOldestRequest) {
+  const Database db({10.0, 10.0, 10.0}, {0.4, 0.3, 0.3});
+  // All requests arrive while item 0 is on air; FCFS must then serve item 2
+  // (older request) before item 1.
+  std::vector<Request> trace = {{0.0, 0}, {0.1, 2}, {0.2, 1}};
+  const OnDemandReport r = run_ondemand(db, trace, {.policy = OnDemandPolicy::kFcfs});
+  EXPECT_EQ(r.broadcasts, 3u);
+  // item2 completes at 2, item1 at 3 (b=10: each service 1s).
+  EXPECT_NEAR(r.makespan, 3.0, 1e-9);
+  EXPECT_NEAR(r.waiting.max, 2.8, 1e-9);  // item1: 3 - 0.2
+}
+
+TEST(OnDemand, MrfPrefersPopularItemFcfsPrefersOldest) {
+  const Database db({10.0, 10.0}, {0.5, 0.5});
+  // While item 0 is on air [0,1), a second item-0 request arrives at 0.1 and
+  // three item-1 requests at 0.2-0.4. At t=1 FCFS serves item 0 (oldest
+  // pending, 0.1) while MRF serves item 1 (3 pending vs 1).
+  std::vector<Request> trace = {{0.0, 0}, {0.1, 0}, {0.2, 1}, {0.3, 1}, {0.4, 1}};
+  const OnDemandReport mrf = run_ondemand(db, trace, {.policy = OnDemandPolicy::kMrf});
+  const OnDemandReport fcfs = run_ondemand(db, trace, {.policy = OnDemandPolicy::kFcfs});
+  // MRF waits: 1.0 + 2.9 + (1.8+1.7+1.6) = 9.0; FCFS: 1.0 + 1.9 +
+  // (2.8+2.7+2.6) = 11.0.
+  EXPECT_NEAR(mrf.waiting.mean, 9.0 / 5.0, 1e-9);
+  EXPECT_NEAR(fcfs.waiting.mean, 11.0 / 5.0, 1e-9);
+  EXPECT_LT(mrf.waiting.mean, fcfs.waiting.mean);
+}
+
+TEST(OnDemand, AllRequestsServedUnderEveryPolicy) {
+  const Database db = generate_database({.items = 40, .skewness = 1.0,
+                                         .diversity = 2.0, .seed = 1});
+  const auto trace = generate_trace(db, {.requests = 3000, .arrival_rate = 6.0,
+                                         .seed = 2});
+  for (OnDemandPolicy policy : all_ondemand_policies()) {
+    const OnDemandReport r =
+        run_ondemand(db, trace, {.policy = policy, .channels = 2, .bandwidth = 10.0});
+    EXPECT_EQ(r.requests_served, trace.size())
+        << ondemand_policy_name(policy);
+    EXPECT_GT(r.broadcasts, 0u);
+    EXPECT_GT(r.mean_stretch(), 0.0);
+  }
+}
+
+TEST(OnDemand, DeterministicAcrossRuns) {
+  const Database db = generate_database({.items = 30, .diversity = 1.5, .seed = 3});
+  const auto trace = generate_trace(db, {.requests = 2000, .arrival_rate = 10.0,
+                                         .seed = 4});
+  const OnDemandConfig cfg{.policy = OnDemandPolicy::kRxW, .channels = 3,
+                           .bandwidth = 10.0};
+  const OnDemandReport a = run_ondemand(db, trace, cfg);
+  const OnDemandReport b = run_ondemand(db, trace, cfg);
+  EXPECT_DOUBLE_EQ(a.waiting.mean, b.waiting.mean);
+  EXPECT_EQ(a.broadcasts, b.broadcasts);
+}
+
+TEST(OnDemand, MoreChannelsReduceWaits) {
+  const Database db = generate_database({.items = 50, .skewness = 0.8,
+                                         .diversity = 2.0, .seed = 5});
+  const auto trace = generate_trace(db, {.requests = 4000, .arrival_rate = 12.0,
+                                         .seed = 6});
+  const OnDemandReport one =
+      run_ondemand(db, trace, {.policy = OnDemandPolicy::kRxW, .channels = 1});
+  const OnDemandReport four =
+      run_ondemand(db, trace, {.policy = OnDemandPolicy::kRxW, .channels = 4});
+  EXPECT_LT(four.waiting.mean, one.waiting.mean);
+}
+
+TEST(OnDemand, LtsfControlsStretchBetterThanFcfsOnDiverseSizes) {
+  // The size-aware policy should cut the tail stretch (small items stuck
+  // behind huge ones) relative to FCFS under load.
+  const Database db = generate_database({.items = 60, .skewness = 1.0,
+                                         .diversity = 3.0, .seed = 7});
+  const auto trace = generate_trace(db, {.requests = 5000, .arrival_rate = 4.0,
+                                         .seed = 8});
+  const OnDemandReport fcfs =
+      run_ondemand(db, trace, {.policy = OnDemandPolicy::kFcfs, .channels = 1,
+                               .bandwidth = 10.0});
+  const OnDemandReport ltsf =
+      run_ondemand(db, trace, {.policy = OnDemandPolicy::kLtsf, .channels = 1,
+                               .bandwidth = 10.0});
+  EXPECT_LT(ltsf.stretch.p95, fcfs.stretch.p95);
+}
+
+TEST(OnDemand, RejectsBadConfig) {
+  const Database db({1.0}, {1.0});
+  EXPECT_THROW(run_ondemand(db, {{0.0, 0}}, {.channels = 0}), ContractViolation);
+  EXPECT_THROW(run_ondemand(db, {{0.0, 0}}, {.bandwidth = 0.0}), ContractViolation);
+  EXPECT_THROW(run_ondemand(db, {{0.0, 7}}, {}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dbs

@@ -1,0 +1,76 @@
+// The full operator story, end to end: estimate popularity from a trace,
+// schedule, persist the program, reload it at "the broadcast tower",
+// put it on air in the simulator, and confirm clients see the predicted
+// waiting times. Exercises workload → core → model-IO → sim as one pipeline.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/drp_cds.h"
+#include "model/allocation_io.h"
+#include "model/cost.h"
+#include "sim/simulator.h"
+#include "workload/catalog_io.h"
+#include "workload/estimate.h"
+#include "workload/generator.h"
+
+namespace dbs {
+namespace {
+
+TEST(OperatorStory, EstimateScheduleStoreLoadSimulate) {
+  // --- ground truth the operator cannot see directly --------------------
+  const Database truth = generate_database({.items = 60, .skewness = 1.1,
+                                            .diversity = 2.0, .seed = 77});
+
+  // --- 1. observe a request window and estimate popularity --------------
+  const auto observed =
+      generate_trace(truth, {.requests = 30000, .arrival_rate = 20.0, .seed = 78});
+  const auto estimated = estimate_frequencies(observed, truth.size(), 1.0);
+
+  // --- 2. build the catalogue from known sizes + estimated popularity ---
+  std::vector<double> sizes;
+  for (const Item& it : truth.items()) sizes.push_back(it.size);
+  const Database catalogue(sizes, estimated);
+
+  // Round-trip the catalogue through its CSV form, as an operator would.
+  std::ostringstream catalog_text;
+  store_catalog(catalog_text,
+                Catalog{catalogue, std::vector<std::string>(catalogue.size())});
+  std::istringstream catalog_in(catalog_text.str());
+  const Catalog reloaded_catalog = load_catalog(catalog_in);
+  ASSERT_EQ(reloaded_catalog.database.size(), catalogue.size());
+
+  // --- 3. schedule and persist the allocation ---------------------------
+  const ChannelId k = 5;
+  const double bandwidth = 10.0;
+  const DrpCdsResult scheduled = run_drp_cds(reloaded_catalog.database, k);
+  std::ostringstream alloc_text;
+  store_allocation(alloc_text, scheduled.allocation, bandwidth);
+
+  // --- 4. reload at the tower and go on air -----------------------------
+  std::istringstream alloc_in(alloc_text.str());
+  const StoredAllocation on_air = load_allocation(alloc_in, reloaded_catalog.database);
+  EXPECT_EQ(on_air.allocation.assignment(), scheduled.allocation.assignment());
+
+  const BroadcastProgram program(on_air.allocation, on_air.bandwidth);
+  // Clients keep following the *true* popularity, not the estimate.
+  const auto live =
+      generate_trace(truth, {.requests = 40000, .arrival_rate = 20.0, .seed = 79});
+  const SimReport report = simulate(program, live);
+
+  // --- 5. the measured wait matches the model, and the estimated-schedule
+  //        program is near the one an oracle would have built ------------
+  EXPECT_EQ(report.requests_served, live.size());
+  // Predicted wait uses the estimate; realized wait uses true popularity.
+  // With 30k observations they must agree within a few percent.
+  const double predicted = program_waiting_time(on_air.allocation, bandwidth);
+  EXPECT_NEAR(report.mean_wait(), predicted, 0.05 * predicted);
+
+  const DrpCdsResult oracle = run_drp_cds(truth, k);
+  const double oracle_wait = program_waiting_time(oracle.allocation, bandwidth);
+  EXPECT_LE(report.mean_wait(), 1.10 * oracle_wait)
+      << "estimation error must not cost more than ~10% of the oracle wait";
+}
+
+}  // namespace
+}  // namespace dbs

@@ -1,0 +1,144 @@
+#include "serve/server_loop.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/distributions.h"
+#include "model/cost.h"
+#include "workload/drift.h"
+#include "workload/generator.h"
+
+namespace dbs {
+namespace {
+
+std::vector<double> sample_sizes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> sizes(n);
+  for (double& z : sizes) z = sample_item_size(rng, 2.0);
+  return sizes;
+}
+
+/// Draws a request window from a fixed popularity vector.
+std::vector<Request> window_from(const std::vector<double>& freqs, std::size_t count,
+                                 Rng& rng) {
+  const AliasSampler sampler(freqs);
+  std::vector<Request> window;
+  window.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    window.push_back({static_cast<double>(i), static_cast<ItemId>(sampler.sample(rng))});
+  }
+  return window;
+}
+
+TEST(Drift, PreservesSizesAndNormalization) {
+  const Database db = generate_database({.items = 30, .diversity = 2.0, .seed = 1});
+  Rng rng(2);
+  const Database drifted = drift_frequencies(db, rng);
+  ASSERT_EQ(drifted.size(), db.size());
+  double sum = 0.0;
+  for (ItemId id = 0; id < db.size(); ++id) {
+    EXPECT_DOUBLE_EQ(drifted.item(id).size, db.item(id).size);
+    sum += drifted.item(id).freq;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Drift, ActuallyChangesFrequencies) {
+  const Database db = generate_database({.items = 30, .seed = 3});
+  Rng rng(4);
+  const Database drifted = drift_frequencies(db, rng, {.transfers = 10, .intensity = 0.8});
+  bool changed = false;
+  for (ItemId id = 0; id < db.size(); ++id) {
+    changed |= std::abs(drifted.item(id).freq - db.item(id).freq) > 1e-9;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(Drift, ZeroIntensityIsIdentity) {
+  const Database db = generate_database({.items = 10, .seed = 5});
+  Rng rng(6);
+  const Database same = drift_frequencies(db, rng, {.transfers = 5, .intensity = 0.0});
+  for (ItemId id = 0; id < db.size(); ++id) {
+    EXPECT_NEAR(same.item(id).freq, db.item(id).freq, 1e-12);
+  }
+}
+
+TEST(ServerLoop, StartsWithValidProgram) {
+  const BroadcastServerLoop server(sample_sizes(40, 1), {.channels = 4});
+  std::string error;
+  EXPECT_TRUE(server.allocation().validate(&error)) << error;
+  EXPECT_EQ(server.epochs(), 0u);
+  EXPECT_EQ(server.database().size(), 40u);
+}
+
+TEST(ServerLoop, LearnsSkewAndCutsWaitingTime) {
+  // Uniform prior; actual traffic is strongly skewed. After a few windows
+  // the program must beat the initial uniform-estimate program.
+  BroadcastServerLoop server(sample_sizes(60, 2), {.channels = 6});
+  const double initial_wait = program_waiting_time(server.allocation(), 10.0);
+
+  const auto true_freqs = zipf_probabilities(60, 1.4);
+  Rng rng(7);
+  EpochReport last;
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    last = server.observe_window(window_from(true_freqs, 4000, rng));
+  }
+  EXPECT_EQ(server.epochs(), 8u);
+  EXPECT_LT(last.waiting_time, initial_wait);
+  // The live allocation matches the reported cost.
+  EXPECT_NEAR(server.allocation().cost(),
+              last.adopted_rebuild ? last.rebuilt_cost : last.repaired_cost, 1e-9);
+}
+
+TEST(ServerLoop, RepairUsuallySufficesUnderMildDrift) {
+  BroadcastServerLoop server(sample_sizes(50, 3), {.channels = 5,
+                                                   .rebuild_threshold = 0.01});
+  auto freqs = zipf_probabilities(50, 1.0);
+  Rng rng(8);
+  std::size_t rebuilds = 0;
+  // Warm up on stable traffic, then drift mildly.
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    server.observe_window(window_from(freqs, 3000, rng));
+  }
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    // mild drift: rotate 2% of mass
+    const double moved = 0.02 * freqs[0];
+    freqs[0] -= moved;
+    freqs[(epoch * 7 + 3) % 50] += moved;
+    const EpochReport r = server.observe_window(window_from(freqs, 3000, rng));
+    rebuilds += r.adopted_rebuild ? 1 : 0;
+    // The adoption rule: a rebuild is only skipped when it fails to beat the
+    // repaired allocation by the threshold. (Repair can genuinely *beat* the
+    // from-scratch rebuild — both are local optima from different starts.)
+    if (!r.adopted_rebuild) {
+      EXPECT_GE(r.rebuilt_cost, r.repaired_cost * (1.0 - 0.01) - 1e-9);
+    } else {
+      EXPECT_LT(r.rebuilt_cost, r.repaired_cost * (1.0 - 0.01) + 1e-9);
+    }
+  }
+  EXPECT_LT(rebuilds, 8u) << "mild drift should mostly be repaired, not rebuilt";
+}
+
+TEST(ServerLoop, AllocationAlwaysValidAcrossEpochs) {
+  BroadcastServerLoop server(sample_sizes(30, 4), {.channels = 3});
+  const auto freqs = zipf_probabilities(30, 0.8);
+  Rng rng(9);
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    server.observe_window(window_from(freqs, 1000, rng));
+    std::string error;
+    EXPECT_TRUE(server.allocation().validate(&error)) << error;
+    EXPECT_EQ(&server.allocation().database(), &server.database())
+        << "allocation must reference the server's live database";
+  }
+}
+
+TEST(ServerLoop, RejectsBadConfig) {
+  EXPECT_THROW(BroadcastServerLoop(sample_sizes(5, 5), {.channels = 9}),
+               ContractViolation);
+  EXPECT_THROW(BroadcastServerLoop(sample_sizes(5, 5),
+                                   {.channels = 2, .bandwidth = 0.0}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace dbs
