@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cds.dir/ablation_cds.cc.o"
+  "CMakeFiles/ablation_cds.dir/ablation_cds.cc.o.d"
+  "ablation_cds"
+  "ablation_cds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

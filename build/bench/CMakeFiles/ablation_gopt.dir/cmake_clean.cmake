@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gopt.dir/ablation_gopt.cc.o"
+  "CMakeFiles/ablation_gopt.dir/ablation_gopt.cc.o.d"
+  "ablation_gopt"
+  "ablation_gopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_swap.dir/ablation_swap.cc.o"
+  "CMakeFiles/ablation_swap.dir/ablation_swap.cc.o.d"
+  "ablation_swap"
+  "ablation_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

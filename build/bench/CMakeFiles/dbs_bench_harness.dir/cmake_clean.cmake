@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/dbs_bench_harness.dir/harness.cc.o.d"
+  "libdbs_bench_harness.a"
+  "libdbs_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

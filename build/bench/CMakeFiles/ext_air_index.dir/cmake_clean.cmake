@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_air_index.dir/ext_air_index.cc.o"
+  "CMakeFiles/ext_air_index.dir/ext_air_index.cc.o.d"
+  "ext_air_index"
+  "ext_air_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_air_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

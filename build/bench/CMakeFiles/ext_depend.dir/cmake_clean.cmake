@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_depend.dir/ext_depend.cc.o"
+  "CMakeFiles/ext_depend.dir/ext_depend.cc.o.d"
+  "ext_depend"
+  "ext_depend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_depend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ondemand.dir/ext_ondemand.cc.o"
+  "CMakeFiles/ext_ondemand.dir/ext_ondemand.cc.o.d"
+  "ext_ondemand"
+  "ext_ondemand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ondemand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

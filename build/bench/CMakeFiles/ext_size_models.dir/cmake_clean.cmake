@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_size_models.dir/ext_size_models.cc.o"
+  "CMakeFiles/ext_size_models.dir/ext_size_models.cc.o.d"
+  "ext_size_models"
+  "ext_size_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_size_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_channels.dir/fig2_channels.cc.o"
+  "CMakeFiles/fig2_channels.dir/fig2_channels.cc.o.d"
+  "fig2_channels"
+  "fig2_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

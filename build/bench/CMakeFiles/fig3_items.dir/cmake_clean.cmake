@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_items.dir/fig3_items.cc.o"
+  "CMakeFiles/fig3_items.dir/fig3_items.cc.o.d"
+  "fig3_items"
+  "fig3_items.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_items.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_diversity.dir/fig4_diversity.cc.o"
+  "CMakeFiles/fig4_diversity.dir/fig4_diversity.cc.o.d"
+  "fig4_diversity"
+  "fig4_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_skewness.dir/fig5_skewness.cc.o"
+  "CMakeFiles/fig5_skewness.dir/fig5_skewness.cc.o.d"
+  "fig5_skewness"
+  "fig5_skewness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_skewness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

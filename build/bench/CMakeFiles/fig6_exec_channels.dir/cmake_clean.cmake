@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_exec_channels.dir/fig6_exec_channels.cc.o"
+  "CMakeFiles/fig6_exec_channels.dir/fig6_exec_channels.cc.o.d"
+  "fig6_exec_channels"
+  "fig6_exec_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_exec_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

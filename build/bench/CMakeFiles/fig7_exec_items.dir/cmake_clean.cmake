@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_exec_items.dir/fig7_exec_items.cc.o"
+  "CMakeFiles/fig7_exec_items.dir/fig7_exec_items.cc.o.d"
+  "fig7_exec_items"
+  "fig7_exec_items.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_exec_items.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_tables_example.dir/fig_tables_example.cc.o"
+  "CMakeFiles/fig_tables_example.dir/fig_tables_example.cc.o.d"
+  "fig_tables_example"
+  "fig_tables_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_tables_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quality_vs_optimal.dir/quality_vs_optimal.cc.o"
+  "CMakeFiles/quality_vs_optimal.dir/quality_vs_optimal.cc.o.d"
+  "quality_vs_optimal"
+  "quality_vs_optimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quality_vs_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

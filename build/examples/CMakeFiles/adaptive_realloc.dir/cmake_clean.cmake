@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_realloc.dir/adaptive_realloc.cpp.o"
+  "CMakeFiles/adaptive_realloc.dir/adaptive_realloc.cpp.o.d"
+  "adaptive_realloc"
+  "adaptive_realloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_realloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

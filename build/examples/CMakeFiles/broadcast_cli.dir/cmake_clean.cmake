@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broadcast_cli.dir/broadcast_cli.cpp.o"
+  "CMakeFiles/broadcast_cli.dir/broadcast_cli.cpp.o.d"
+  "broadcast_cli"
+  "broadcast_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broadcast_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

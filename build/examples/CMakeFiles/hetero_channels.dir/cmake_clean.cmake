@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_channels.dir/hetero_channels.cpp.o"
+  "CMakeFiles/hetero_channels.dir/hetero_channels.cpp.o.d"
+  "hetero_channels"
+  "hetero_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

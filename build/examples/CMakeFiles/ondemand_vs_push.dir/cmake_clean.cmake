@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ondemand_vs_push.dir/ondemand_vs_push.cpp.o"
+  "CMakeFiles/ondemand_vs_push.dir/ondemand_vs_push.cpp.o.d"
+  "ondemand_vs_push"
+  "ondemand_vs_push.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ondemand_vs_push.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

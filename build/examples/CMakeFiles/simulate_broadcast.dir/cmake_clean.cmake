@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_broadcast.dir/simulate_broadcast.cpp.o"
+  "CMakeFiles/simulate_broadcast.dir/simulate_broadcast.cpp.o.d"
+  "simulate_broadcast"
+  "simulate_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("model")
+subdirs("workload")
+subdirs("core")
+subdirs("baselines")
+subdirs("sim")
+subdirs("air")
+subdirs("replication")
+subdirs("ondemand")
+subdirs("depend")
+subdirs("hetero")
+subdirs("api")
+subdirs("serve")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_air.dir/index.cc.o"
+  "CMakeFiles/dbs_air.dir/index.cc.o.d"
+  "CMakeFiles/dbs_air.dir/indexed_program.cc.o"
+  "CMakeFiles/dbs_air.dir/indexed_program.cc.o.d"
+  "libdbs_air.a"
+  "libdbs_air.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_air.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

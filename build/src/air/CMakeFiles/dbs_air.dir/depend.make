@@ -1,0 +1,2 @@
+# Empty dependencies file for dbs_air.
+# This may be replaced when dependencies are built.

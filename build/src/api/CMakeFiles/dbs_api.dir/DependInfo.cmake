@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/planner.cc" "src/api/CMakeFiles/dbs_api.dir/planner.cc.o" "gcc" "src/api/CMakeFiles/dbs_api.dir/planner.cc.o.d"
+  "/root/repo/src/api/scheduler.cc" "src/api/CMakeFiles/dbs_api.dir/scheduler.cc.o" "gcc" "src/api/CMakeFiles/dbs_api.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dbs_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dbs_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

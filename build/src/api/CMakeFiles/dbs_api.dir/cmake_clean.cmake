@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_api.dir/planner.cc.o"
+  "CMakeFiles/dbs_api.dir/planner.cc.o.d"
+  "CMakeFiles/dbs_api.dir/scheduler.cc.o"
+  "CMakeFiles/dbs_api.dir/scheduler.cc.o.d"
+  "libdbs_api.a"
+  "libdbs_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

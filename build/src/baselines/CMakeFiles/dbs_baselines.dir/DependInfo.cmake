@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/annealing.cc" "src/baselines/CMakeFiles/dbs_baselines.dir/annealing.cc.o" "gcc" "src/baselines/CMakeFiles/dbs_baselines.dir/annealing.cc.o.d"
+  "/root/repo/src/baselines/brute_force.cc" "src/baselines/CMakeFiles/dbs_baselines.dir/brute_force.cc.o" "gcc" "src/baselines/CMakeFiles/dbs_baselines.dir/brute_force.cc.o.d"
+  "/root/repo/src/baselines/flat.cc" "src/baselines/CMakeFiles/dbs_baselines.dir/flat.cc.o" "gcc" "src/baselines/CMakeFiles/dbs_baselines.dir/flat.cc.o.d"
+  "/root/repo/src/baselines/gopt.cc" "src/baselines/CMakeFiles/dbs_baselines.dir/gopt.cc.o" "gcc" "src/baselines/CMakeFiles/dbs_baselines.dir/gopt.cc.o.d"
+  "/root/repo/src/baselines/greedy.cc" "src/baselines/CMakeFiles/dbs_baselines.dir/greedy.cc.o" "gcc" "src/baselines/CMakeFiles/dbs_baselines.dir/greedy.cc.o.d"
+  "/root/repo/src/baselines/ordered_dp.cc" "src/baselines/CMakeFiles/dbs_baselines.dir/ordered_dp.cc.o" "gcc" "src/baselines/CMakeFiles/dbs_baselines.dir/ordered_dp.cc.o.d"
+  "/root/repo/src/baselines/vfk.cc" "src/baselines/CMakeFiles/dbs_baselines.dir/vfk.cc.o" "gcc" "src/baselines/CMakeFiles/dbs_baselines.dir/vfk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/dbs_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_baselines.dir/annealing.cc.o"
+  "CMakeFiles/dbs_baselines.dir/annealing.cc.o.d"
+  "CMakeFiles/dbs_baselines.dir/brute_force.cc.o"
+  "CMakeFiles/dbs_baselines.dir/brute_force.cc.o.d"
+  "CMakeFiles/dbs_baselines.dir/flat.cc.o"
+  "CMakeFiles/dbs_baselines.dir/flat.cc.o.d"
+  "CMakeFiles/dbs_baselines.dir/gopt.cc.o"
+  "CMakeFiles/dbs_baselines.dir/gopt.cc.o.d"
+  "CMakeFiles/dbs_baselines.dir/greedy.cc.o"
+  "CMakeFiles/dbs_baselines.dir/greedy.cc.o.d"
+  "CMakeFiles/dbs_baselines.dir/ordered_dp.cc.o"
+  "CMakeFiles/dbs_baselines.dir/ordered_dp.cc.o.d"
+  "CMakeFiles/dbs_baselines.dir/vfk.cc.o"
+  "CMakeFiles/dbs_baselines.dir/vfk.cc.o.d"
+  "libdbs_baselines.a"
+  "libdbs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

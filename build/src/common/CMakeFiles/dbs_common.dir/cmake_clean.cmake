@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_common.dir/csv.cc.o"
+  "CMakeFiles/dbs_common.dir/csv.cc.o.d"
+  "CMakeFiles/dbs_common.dir/distributions.cc.o"
+  "CMakeFiles/dbs_common.dir/distributions.cc.o.d"
+  "CMakeFiles/dbs_common.dir/rng.cc.o"
+  "CMakeFiles/dbs_common.dir/rng.cc.o.d"
+  "CMakeFiles/dbs_common.dir/stats.cc.o"
+  "CMakeFiles/dbs_common.dir/stats.cc.o.d"
+  "CMakeFiles/dbs_common.dir/strings.cc.o"
+  "CMakeFiles/dbs_common.dir/strings.cc.o.d"
+  "CMakeFiles/dbs_common.dir/table.cc.o"
+  "CMakeFiles/dbs_common.dir/table.cc.o.d"
+  "libdbs_common.a"
+  "libdbs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cds.cc" "src/core/CMakeFiles/dbs_core.dir/cds.cc.o" "gcc" "src/core/CMakeFiles/dbs_core.dir/cds.cc.o.d"
+  "/root/repo/src/core/drp.cc" "src/core/CMakeFiles/dbs_core.dir/drp.cc.o" "gcc" "src/core/CMakeFiles/dbs_core.dir/drp.cc.o.d"
+  "/root/repo/src/core/drp_cds.cc" "src/core/CMakeFiles/dbs_core.dir/drp_cds.cc.o" "gcc" "src/core/CMakeFiles/dbs_core.dir/drp_cds.cc.o.d"
+  "/root/repo/src/core/partition.cc" "src/core/CMakeFiles/dbs_core.dir/partition.cc.o" "gcc" "src/core/CMakeFiles/dbs_core.dir/partition.cc.o.d"
+  "/root/repo/src/core/swap.cc" "src/core/CMakeFiles/dbs_core.dir/swap.cc.o" "gcc" "src/core/CMakeFiles/dbs_core.dir/swap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/dbs_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_core.dir/cds.cc.o"
+  "CMakeFiles/dbs_core.dir/cds.cc.o.d"
+  "CMakeFiles/dbs_core.dir/drp.cc.o"
+  "CMakeFiles/dbs_core.dir/drp.cc.o.d"
+  "CMakeFiles/dbs_core.dir/drp_cds.cc.o"
+  "CMakeFiles/dbs_core.dir/drp_cds.cc.o.d"
+  "CMakeFiles/dbs_core.dir/partition.cc.o"
+  "CMakeFiles/dbs_core.dir/partition.cc.o.d"
+  "CMakeFiles/dbs_core.dir/swap.cc.o"
+  "CMakeFiles/dbs_core.dir/swap.cc.o.d"
+  "libdbs_core.a"
+  "libdbs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_depend.dir/queries.cc.o"
+  "CMakeFiles/dbs_depend.dir/queries.cc.o.d"
+  "libdbs_depend.a"
+  "libdbs_depend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_depend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

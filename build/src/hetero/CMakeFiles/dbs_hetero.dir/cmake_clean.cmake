@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_hetero.dir/hetero.cc.o"
+  "CMakeFiles/dbs_hetero.dir/hetero.cc.o.d"
+  "libdbs_hetero.a"
+  "libdbs_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/allocation.cc" "src/model/CMakeFiles/dbs_model.dir/allocation.cc.o" "gcc" "src/model/CMakeFiles/dbs_model.dir/allocation.cc.o.d"
+  "/root/repo/src/model/allocation_io.cc" "src/model/CMakeFiles/dbs_model.dir/allocation_io.cc.o" "gcc" "src/model/CMakeFiles/dbs_model.dir/allocation_io.cc.o.d"
+  "/root/repo/src/model/cost.cc" "src/model/CMakeFiles/dbs_model.dir/cost.cc.o" "gcc" "src/model/CMakeFiles/dbs_model.dir/cost.cc.o.d"
+  "/root/repo/src/model/database.cc" "src/model/CMakeFiles/dbs_model.dir/database.cc.o" "gcc" "src/model/CMakeFiles/dbs_model.dir/database.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_model.dir/allocation.cc.o"
+  "CMakeFiles/dbs_model.dir/allocation.cc.o.d"
+  "CMakeFiles/dbs_model.dir/allocation_io.cc.o"
+  "CMakeFiles/dbs_model.dir/allocation_io.cc.o.d"
+  "CMakeFiles/dbs_model.dir/cost.cc.o"
+  "CMakeFiles/dbs_model.dir/cost.cc.o.d"
+  "CMakeFiles/dbs_model.dir/database.cc.o"
+  "CMakeFiles/dbs_model.dir/database.cc.o.d"
+  "libdbs_model.a"
+  "libdbs_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_ondemand.dir/server.cc.o"
+  "CMakeFiles/dbs_ondemand.dir/server.cc.o.d"
+  "libdbs_ondemand.a"
+  "libdbs_ondemand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_ondemand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replication/min_wait.cc" "src/replication/CMakeFiles/dbs_replication.dir/min_wait.cc.o" "gcc" "src/replication/CMakeFiles/dbs_replication.dir/min_wait.cc.o.d"
+  "/root/repo/src/replication/multi_program.cc" "src/replication/CMakeFiles/dbs_replication.dir/multi_program.cc.o" "gcc" "src/replication/CMakeFiles/dbs_replication.dir/multi_program.cc.o.d"
+  "/root/repo/src/replication/replicate.cc" "src/replication/CMakeFiles/dbs_replication.dir/replicate.cc.o" "gcc" "src/replication/CMakeFiles/dbs_replication.dir/replicate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/dbs_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dbs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

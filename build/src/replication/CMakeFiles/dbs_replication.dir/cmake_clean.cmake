@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_replication.dir/min_wait.cc.o"
+  "CMakeFiles/dbs_replication.dir/min_wait.cc.o.d"
+  "CMakeFiles/dbs_replication.dir/multi_program.cc.o"
+  "CMakeFiles/dbs_replication.dir/multi_program.cc.o.d"
+  "CMakeFiles/dbs_replication.dir/replicate.cc.o"
+  "CMakeFiles/dbs_replication.dir/replicate.cc.o.d"
+  "libdbs_replication.a"
+  "libdbs_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_serve.dir/server_loop.cc.o"
+  "CMakeFiles/dbs_serve.dir/server_loop.cc.o.d"
+  "libdbs_serve.a"
+  "libdbs_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_sim.dir/event_queue.cc.o"
+  "CMakeFiles/dbs_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/dbs_sim.dir/program.cc.o"
+  "CMakeFiles/dbs_sim.dir/program.cc.o.d"
+  "CMakeFiles/dbs_sim.dir/simulator.cc.o"
+  "CMakeFiles/dbs_sim.dir/simulator.cc.o.d"
+  "libdbs_sim.a"
+  "libdbs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/catalog_io.cc" "src/workload/CMakeFiles/dbs_workload.dir/catalog_io.cc.o" "gcc" "src/workload/CMakeFiles/dbs_workload.dir/catalog_io.cc.o.d"
+  "/root/repo/src/workload/drift.cc" "src/workload/CMakeFiles/dbs_workload.dir/drift.cc.o" "gcc" "src/workload/CMakeFiles/dbs_workload.dir/drift.cc.o.d"
+  "/root/repo/src/workload/estimate.cc" "src/workload/CMakeFiles/dbs_workload.dir/estimate.cc.o" "gcc" "src/workload/CMakeFiles/dbs_workload.dir/estimate.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/workload/CMakeFiles/dbs_workload.dir/generator.cc.o" "gcc" "src/workload/CMakeFiles/dbs_workload.dir/generator.cc.o.d"
+  "/root/repo/src/workload/paper_example.cc" "src/workload/CMakeFiles/dbs_workload.dir/paper_example.cc.o" "gcc" "src/workload/CMakeFiles/dbs_workload.dir/paper_example.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/dbs_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/dbs_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/dbs_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

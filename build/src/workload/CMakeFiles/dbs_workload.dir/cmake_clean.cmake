@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_workload.dir/catalog_io.cc.o"
+  "CMakeFiles/dbs_workload.dir/catalog_io.cc.o.d"
+  "CMakeFiles/dbs_workload.dir/drift.cc.o"
+  "CMakeFiles/dbs_workload.dir/drift.cc.o.d"
+  "CMakeFiles/dbs_workload.dir/estimate.cc.o"
+  "CMakeFiles/dbs_workload.dir/estimate.cc.o.d"
+  "CMakeFiles/dbs_workload.dir/generator.cc.o"
+  "CMakeFiles/dbs_workload.dir/generator.cc.o.d"
+  "CMakeFiles/dbs_workload.dir/paper_example.cc.o"
+  "CMakeFiles/dbs_workload.dir/paper_example.cc.o.d"
+  "CMakeFiles/dbs_workload.dir/trace.cc.o"
+  "CMakeFiles/dbs_workload.dir/trace.cc.o.d"
+  "libdbs_workload.a"
+  "libdbs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocation_io_test.dir/allocation_io_test.cc.o"
+  "CMakeFiles/allocation_io_test.dir/allocation_io_test.cc.o.d"
+  "allocation_io_test"
+  "allocation_io_test.pdb"
+  "allocation_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocation_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depend_test.dir/depend_test.cc.o"
+  "CMakeFiles/depend_test.dir/depend_test.cc.o.d"
+  "depend_test"
+  "depend_test.pdb"
+  "depend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gopt_test.dir/gopt_test.cc.o"
+  "CMakeFiles/gopt_test.dir/gopt_test.cc.o.d"
+  "gopt_test"
+  "gopt_test.pdb"
+  "gopt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gopt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indexed_program_test.dir/indexed_program_test.cc.o"
+  "CMakeFiles/indexed_program_test.dir/indexed_program_test.cc.o.d"
+  "indexed_program_test"
+  "indexed_program_test.pdb"
+  "indexed_program_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indexed_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

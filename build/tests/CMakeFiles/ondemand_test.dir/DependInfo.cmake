@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ondemand_test.cc" "tests/CMakeFiles/ondemand_test.dir/ondemand_test.cc.o" "gcc" "tests/CMakeFiles/ondemand_test.dir/ondemand_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/dbs_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dbs_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/air/CMakeFiles/dbs_air.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/dbs_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/ondemand/CMakeFiles/dbs_ondemand.dir/DependInfo.cmake"
+  "/root/repo/build/src/hetero/CMakeFiles/dbs_hetero.dir/DependInfo.cmake"
+  "/root/repo/build/src/depend/CMakeFiles/dbs_depend.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dbs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/serve/CMakeFiles/dbs_serve.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dbs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dbs_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

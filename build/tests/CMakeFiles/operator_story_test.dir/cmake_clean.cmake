@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_story_test.dir/operator_story_test.cc.o"
+  "CMakeFiles/operator_story_test.dir/operator_story_test.cc.o.d"
+  "operator_story_test"
+  "operator_story_test.pdb"
+  "operator_story_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_story_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

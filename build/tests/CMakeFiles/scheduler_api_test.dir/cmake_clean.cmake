@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_api_test.dir/scheduler_api_test.cc.o"
+  "CMakeFiles/scheduler_api_test.dir/scheduler_api_test.cc.o.d"
+  "scheduler_api_test"
+  "scheduler_api_test.pdb"
+  "scheduler_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/size_models_test.dir/size_models_test.cc.o"
+  "CMakeFiles/size_models_test.dir/size_models_test.cc.o.d"
+  "size_models_test"
+  "size_models_test.pdb"
+  "size_models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/size_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[OperatorStory.EstimateScheduleStoreLoadSimulate]=]  /root/repo/build/tests/operator_story_test [==[--gtest_filter=OperatorStory.EstimateScheduleStoreLoadSimulate]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[OperatorStory.EstimateScheduleStoreLoadSimulate]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  operator_story_test_TESTS OperatorStory.EstimateScheduleStoreLoadSimulate)
