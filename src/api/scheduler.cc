@@ -7,6 +7,7 @@
 #include "baselines/greedy.h"
 #include "baselines/ordered_dp.h"
 #include "baselines/vfk.h"
+#include "common/check.h"
 #include "common/stopwatch.h"
 #include "model/cost.h"
 
@@ -45,6 +46,9 @@ std::string_view algorithm_name(Algorithm algorithm) {
 }
 
 ScheduleResult schedule(const Database& db, const ScheduleRequest& request) {
+  DBS_CHECK_MSG(request.channels >= 1, "schedule() needs at least one channel");
+  DBS_CHECK_MSG(request.bandwidth > 0.0, "schedule() needs positive bandwidth");
+  DBS_CHECK_MSG(db.size() > 0, "schedule() needs a non-empty catalogue");
   Stopwatch watch;
   std::optional<Allocation> alloc;
 

@@ -48,7 +48,10 @@ namespace detail {
   } while (false)
 
 #ifdef NDEBUG
-#define DBS_ASSERT(expr) ((void)0)
+// The expression stays inside an unevaluated sizeof so its operands remain
+// odr-used: variables referenced only from DBS_ASSERT do not trigger
+// -Wunused-variable in release builds, yet no code is generated.
+#define DBS_ASSERT(expr) ((void)sizeof((expr) ? 1 : 0))
 #else
 #define DBS_ASSERT(expr) DBS_CHECK(expr)
 #endif

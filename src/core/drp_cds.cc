@@ -4,6 +4,7 @@ namespace dbs {
 
 DrpCdsResult run_drp_cds(const Database& db, ChannelId channels,
                          const DrpCdsOptions& options) {
+  // dbs-lint: contract delegated to run_drp (validates channels and catalogue)
   DrpResult drp = run_drp(db, channels, options.drp);
   DrpCdsResult result{std::move(drp.allocation), 0.0, 0.0, {}};
   result.drp_cost = result.allocation.cost();

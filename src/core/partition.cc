@@ -5,6 +5,8 @@
 namespace dbs {
 
 PrefixSums::PrefixSums(const Database& db, std::span<const ItemId> order) {
+  DBS_CHECK_MSG(order.size() <= db.size(),
+                "order names more items than the database holds");
   freq.resize(order.size() + 1, 0.0);
   size.resize(order.size() + 1, 0.0);
   for (std::size_t i = 0; i < order.size(); ++i) {

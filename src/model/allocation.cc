@@ -8,6 +8,7 @@
 namespace dbs {
 
 Allocation::Allocation(const Database& db, ChannelId channels)
+    // dbs-lint: contract delegated to the explicit-assignment constructor
     : Allocation(db, channels, std::vector<ChannelId>(db.size(), 0)) {}
 
 Allocation::Allocation(const Database& db, ChannelId channels,

@@ -68,6 +68,10 @@ class Allocation {
   bool validate(std::string* error = nullptr) const;
 
  private:
+  // Test-only backdoor: lets validate()'s failure paths be exercised by
+  // corrupting internal state in ways the public API forbids.
+  friend struct AllocationTestPeer;
+
   const Database* db_;
   ChannelId channels_;
   std::vector<ChannelId> assignment_;

@@ -30,6 +30,8 @@ void store_allocation(std::ostream& out, const Allocation& alloc, double bandwid
 }
 
 StoredAllocation load_allocation(std::istream& in, const Database& db) {
+  // dbs-lint: contract delegated to per-line fail() parse validation below,
+  // plus the Allocation constructor's bounds re-check on construction.
   std::optional<ChannelId> channels;
   double bandwidth = 0.0;
   std::vector<ChannelId> assignment(db.size(), 0);

@@ -27,7 +27,7 @@ std::vector<double> estimate_frequencies(const std::vector<Request>& window,
 class FrequencyTracker {
  public:
   /// Starts from the uniform distribution over `items`.
-  FrequencyTracker(std::size_t items, double gain = 0.3, double alpha = 1.0);
+  explicit FrequencyTracker(std::size_t items, double gain = 0.3, double alpha = 1.0);
 
   /// Folds one observed window into the estimate.
   void observe(const std::vector<Request>& window);

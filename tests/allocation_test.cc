@@ -129,4 +129,83 @@ TEST(Allocation, IncrementalCostStaysExactOverManyMoves) {
 }
 
 }  // namespace
+
+// Test-only peer declared as a friend in allocation.h: corrupts internal
+// state so validate()'s failure paths can be exercised. Must live at
+// namespace dbs scope (friendship does not extend into the anonymous
+// namespace).
+struct AllocationTestPeer {
+  static void set_assignment(Allocation& a, ItemId id, ChannelId c) {
+    a.assignment_[id] = c;
+  }
+  static void set_cached_freq(Allocation& a, ChannelId c, double v) {
+    a.freq_[c] = v;
+  }
+  static void set_cached_size(Allocation& a, ChannelId c, double v) {
+    a.size_[c] = v;
+  }
+  static void set_cached_count(Allocation& a, ChannelId c, std::size_t n) {
+    a.count_[c] = n;
+  }
+  static void shrink_assignment(Allocation& a) { a.assignment_.pop_back(); }
+};
+
+namespace {
+
+TEST(AllocationValidate, CatchesOutOfRangeChannel) {
+  const Database db = small_db();
+  Allocation alloc(db, 2, {0, 1, 0, 1});
+  AllocationTestPeer::set_assignment(alloc, 2, 7);
+  std::string error;
+  EXPECT_FALSE(alloc.validate(&error));
+  EXPECT_NE(error.find("item 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("out-of-range channel 7"), std::string::npos) << error;
+}
+
+TEST(AllocationValidate, CatchesCorruptedFrequencyAggregate) {
+  const Database db = small_db();
+  Allocation alloc(db, 2, {0, 1, 0, 1});
+  AllocationTestPeer::set_cached_freq(alloc, 1, 0.999);
+  std::string error;
+  EXPECT_FALSE(alloc.validate(&error));
+  EXPECT_NE(error.find("channel 1"), std::string::npos) << error;
+  EXPECT_NE(error.find("diverge"), std::string::npos) << error;
+}
+
+TEST(AllocationValidate, CatchesCorruptedSizeAggregate) {
+  const Database db = small_db();
+  Allocation alloc(db, 2, {0, 1, 0, 1});
+  AllocationTestPeer::set_cached_size(alloc, 0, 123.0);
+  std::string error;
+  EXPECT_FALSE(alloc.validate(&error));
+  EXPECT_NE(error.find("channel 0"), std::string::npos) << error;
+}
+
+TEST(AllocationValidate, CatchesCorruptedCount) {
+  const Database db = small_db();
+  Allocation alloc(db, 2, {0, 1, 0, 1});
+  AllocationTestPeer::set_cached_count(alloc, 0, 3);
+  std::string error;
+  EXPECT_FALSE(alloc.validate(&error));
+  EXPECT_NE(error.find("diverge"), std::string::npos) << error;
+}
+
+TEST(AllocationValidate, CatchesAssignmentSizeMismatch) {
+  const Database db = small_db();
+  Allocation alloc(db, 2, {0, 1, 0, 1});
+  AllocationTestPeer::shrink_assignment(alloc);
+  std::string error;
+  EXPECT_FALSE(alloc.validate(&error));
+  EXPECT_NE(error.find("size mismatch"), std::string::npos) << error;
+}
+
+TEST(AllocationValidate, NullErrorPointerIsAccepted) {
+  const Database db = small_db();
+  Allocation alloc(db, 2, {0, 1, 0, 1});
+  AllocationTestPeer::set_cached_freq(alloc, 0, -1.0);
+  EXPECT_FALSE(alloc.validate());       // must not dereference nullptr
+  EXPECT_TRUE(Allocation(db, 2).validate());
+}
+
+}  // namespace
 }  // namespace dbs

@@ -1,0 +1,364 @@
+#!/usr/bin/env python3
+"""dbs_lint: repo-specific contract linter for the dbs broadcast scheduler.
+
+Enforces project invariants that clang-tidy cannot express:
+
+  contract-audit     Every public entry point (a function defined in a
+                     src/**/*.cc whose name is declared in a header of the
+                     same module) that consumes a user-supplied Database /
+                     catalogue must validate its inputs with DBS_CHECK /
+                     DBS_CHECK_MSG, or carry an explicit
+                     `// dbs-lint: contract delegated` annotation naming the
+                     callee that performs the check. This keeps the contract
+                     audit grep-able: `grep -rn "dbs-lint: contract"` lists
+                     every delegation.
+  include-cc         No `#include` of a `.cc` file anywhere (src, tests,
+                     bench, examples). Including implementation files breaks
+                     the one-definition rule silently.
+  check-iwyu         Any file that uses DBS_CHECK / DBS_CHECK_MSG /
+                     DBS_ASSERT must itself include "common/check.h" —
+                     macro availability must never ride on transitive
+                     includes.
+  determinism        src/ must not call std::rand / rand / srand /
+                     std::random_device or read wall-clock `time(` — all
+                     randomness flows through the seeded dbs::Rng layer so
+                     every experiment replays bit-for-bit.
+  detail-isolation   tests/ and bench/ must not name `detail::` symbols;
+                     the detail namespaces are internal and not part of the
+                     tested surface.
+
+Exit status: 0 when clean, 1 when any finding is reported, 2 on usage error.
+
+Run on the repo:      tools/dbs_lint.py --root .
+Run the golden cases: tools/dbs_lint.py --selftest
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SRC_DIRS = ("src",)
+TEST_DIRS = ("tests", "bench")
+ALL_DIRS = ("src", "tests", "bench", "examples")
+
+DELEGATION_MARK = "dbs-lint: contract delegated"
+SUPPRESS_MARK = "dbs-lint: allow"  # `// dbs-lint: allow(<rule>)` on the line
+
+
+class Finding:
+    def __init__(self, rule: str, path: Path, line: int, message: str):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def iter_files(root: Path, dirs, suffixes=(".h", ".cc", ".cpp")):
+    for d in dirs:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in suffixes and path.is_file():
+                yield path
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving offsets.
+
+    Keeps newlines so line numbers computed against the stripped text match
+    the original file.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c == "'" and i > 0 and (text[i - 1].isdigit() or text[i - 1] == "'"):
+            # C++14 digit separator (200'000), not a char literal.
+            out.append(c)
+            i += 1
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def suppressed(lines, lineno: int, rule: str) -> bool:
+    """True if the 1-based line (or the one above) carries an allow marker."""
+    for ln in (lineno, lineno - 1):
+        if 1 <= ln <= len(lines) and SUPPRESS_MARK in lines[ln - 1]:
+            allowed = lines[ln - 1].split(SUPPRESS_MARK, 1)[1]
+            if rule in allowed or "(*)" in allowed:
+                return True
+    return False
+
+
+# --------------------------------------------------------------------------
+# Rule: include-cc
+# --------------------------------------------------------------------------
+
+INCLUDE_CC_RE = re.compile(r'^\s*#\s*include\s+[<"][^<">]+\.cc[">]', re.M)
+
+
+def rule_include_cc(path: Path, text: str, findings):
+    for m in INCLUDE_CC_RE.finditer(text):
+        findings.append(
+            Finding("include-cc", path, line_of(text, m.start()),
+                    "#include of a .cc implementation file"))
+
+
+# --------------------------------------------------------------------------
+# Rule: check-iwyu
+# --------------------------------------------------------------------------
+
+CHECK_MACRO_RE = re.compile(r"\bDBS_(CHECK|CHECK_MSG|ASSERT)\s*\(")
+CHECK_INCLUDE_RE = re.compile(r'#\s*include\s+"common/check\.h"')
+
+
+def rule_check_iwyu(path: Path, text: str, stripped: str, findings):
+    if path.name == "check.h":
+        return
+    m = CHECK_MACRO_RE.search(stripped)
+    if m and not CHECK_INCLUDE_RE.search(text):
+        findings.append(
+            Finding("check-iwyu", path, line_of(stripped, m.start()),
+                    'uses DBS_CHECK/DBS_ASSERT but does not itself '
+                    '#include "common/check.h"'))
+
+
+# --------------------------------------------------------------------------
+# Rule: determinism
+# --------------------------------------------------------------------------
+
+NONDETERMINISM_RES = (
+    (re.compile(r"(?<![A-Za-z0-9_:])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\bstd::rand\b"), "std::rand"),
+    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
+    (re.compile(r"(?<![A-Za-z0-9_.>])time\s*\("), "wall-clock time()"),
+)
+
+
+def rule_determinism(path: Path, stripped: str, lines, findings):
+    for regex, what in NONDETERMINISM_RES:
+        for m in regex.finditer(stripped):
+            ln = line_of(stripped, m.start())
+            if suppressed(lines, ln, "determinism"):
+                continue
+            findings.append(
+                Finding("determinism", path, ln,
+                        f"{what} breaks replayability; draw from dbs::Rng "
+                        "(src/common/rng.h) instead"))
+
+
+# --------------------------------------------------------------------------
+# Rule: detail-isolation
+# --------------------------------------------------------------------------
+
+DETAIL_RE = re.compile(r"\bdetail\s*::")
+
+
+def rule_detail_isolation(path: Path, stripped: str, lines, findings):
+    for m in DETAIL_RE.finditer(stripped):
+        ln = line_of(stripped, m.start())
+        if suppressed(lines, ln, "detail-isolation"):
+            continue
+        findings.append(
+            Finding("detail-isolation", path, ln,
+                    "tests/bench must not reach into detail:: internals"))
+
+
+# --------------------------------------------------------------------------
+# Rule: contract-audit
+# --------------------------------------------------------------------------
+
+# A function definition whose parameter list mentions a user-facing
+# catalogue type. Matched on the stripped text so strings/comments cannot
+# confuse the brace scanner.
+ENTRY_SIG_RE = re.compile(
+    r"^[A-Za-z_][\w:<>,&*\s]*?\b([A-Za-z_]\w*)\s*"  # return type + name
+    r"\(([^;{}]*?\bDatabase\s*&[^;{}]*?)\)"          # params containing Database&
+    r"\s*(?:const)?\s*(?::[^{;]*)?\{",               # ctor-inits, then body
+    re.M | re.S)
+
+CONTRACT_RE = re.compile(r"\bDBS_CHECK(_MSG)?\s*\(")
+
+
+def find_matching_brace(text: str, open_idx: int) -> int:
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(text) - 1
+
+
+def public_names_for(path: Path) -> set:
+    """Identifiers declared in headers of the same module directory."""
+    names = set()
+    for header in path.parent.glob("*.h"):
+        text = strip_comments_and_strings(
+            header.read_text(encoding="utf-8", errors="replace"))
+        names.update(re.findall(r"\b([A-Za-z_]\w*)\s*\(", text))
+        names.update(re.findall(r"\b(?:class|struct)\s+([A-Za-z_]\w*)", text))
+    return names
+
+
+def rule_contract_audit(path: Path, text: str, stripped: str, lines, findings):
+    if path.suffix not in (".cc", ".cpp"):
+        return
+    public = public_names_for(path)
+    for m in ENTRY_SIG_RE.finditer(stripped):
+        name = m.group(1).split("::")[-1]
+        if name not in public:
+            continue  # file-local helper, not a public entry point
+        open_idx = m.end() - 1
+        close_idx = find_matching_brace(stripped, open_idx)
+        # The checked region covers the ctor-init list too: delegating
+        # constructors and members constructed from the Database count when
+        # the callee performs the DBS_CHECK and the delegation is annotated.
+        region = stripped[m.start():close_idx]
+        region_src = text[m.start():close_idx]
+        ln = line_of(stripped, m.start())
+        if suppressed(lines, ln, "contract-audit"):
+            continue
+        if CONTRACT_RE.search(region):
+            continue
+        if DELEGATION_MARK in region_src:
+            continue
+        findings.append(
+            Finding("contract-audit", path, ln,
+                    f"public entry point '{name}' consumes a Database but "
+                    "neither DBS_CHECKs its inputs nor carries a "
+                    f"'// {DELEGATION_MARK} to <callee>' annotation"))
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+def lint_file(path: Path, rel: Path, findings):
+    text = path.read_text(encoding="utf-8", errors="replace")
+    stripped = strip_comments_and_strings(text)
+    lines = text.splitlines()
+    top = rel.parts[0] if rel.parts else ""
+
+    rule_include_cc(path, text, findings)
+    rule_check_iwyu(path, text, stripped, findings)
+    if top in SRC_DIRS:
+        rule_determinism(path, stripped, lines, findings)
+        rule_contract_audit(path, text, stripped, lines, findings)
+    if top in TEST_DIRS:
+        rule_detail_isolation(path, stripped, lines, findings)
+
+
+def run(root: Path) -> list:
+    findings = []
+    for path in iter_files(root, ALL_DIRS):
+        lint_file(path, path.relative_to(root), findings)
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Golden-case selftest
+# --------------------------------------------------------------------------
+
+def selftest() -> int:
+    """Runs the linter over tools/lint_cases/ and checks each fixture file
+    produces exactly the rule hits named in its `// expect: rule[,rule]` first
+    line (or none for `// expect: clean`)."""
+    cases_dir = Path(__file__).resolve().parent / "lint_cases"
+    if not cases_dir.is_dir():
+        print(f"selftest: missing {cases_dir}", file=sys.stderr)
+        return 2
+    failures = 0
+    for case in sorted(cases_dir.rglob("*")):
+        if case.suffix not in (".h", ".cc", ".cpp") or not case.is_file():
+            continue
+        first = case.read_text(encoding="utf-8").splitlines()[0]
+        m = re.match(r"//\s*expect:\s*(.*)", first)
+        if not m:
+            print(f"selftest: {case} lacks a '// expect:' header")
+            failures += 1
+            continue
+        expected = set()
+        if m.group(1).strip() != "clean":
+            expected = {r.strip() for r in m.group(1).split(",")}
+        findings = []
+        rel = case.relative_to(cases_dir)
+        lint_file(case, rel, findings)
+        got = {f.rule for f in findings}
+        if got != expected:
+            print(f"selftest FAIL {rel}: expected {sorted(expected)}, "
+                  f"got {sorted(got)}")
+            for f in findings:
+                print(f"    {f}")
+            failures += 1
+        else:
+            print(f"selftest ok   {rel}: {sorted(got) or ['clean']}")
+    if failures:
+        print(f"selftest: {failures} case(s) failed", file=sys.stderr)
+        return 1
+    print("selftest: all golden cases behave")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=Path, default=None,
+                        help="repository root (default: parent of tools/)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the golden lint cases instead of the repo")
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return selftest()
+
+    root = args.root or Path(__file__).resolve().parent.parent
+    if not (root / "src").is_dir():
+        print(f"dbs_lint: {root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+    findings = run(root)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"dbs_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("dbs_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,14 @@
+// expect: clean
+// Header for the contract-audit fixtures: declares which names are public.
+#pragma once
+
+namespace dbs {
+
+class Database;
+using ChannelId = unsigned;
+
+double unchecked_entry(const Database& db, ChannelId channels);
+double checked_entry(const Database& db, ChannelId channels);
+double delegated_entry(const Database& db, ChannelId channels);
+
+}  // namespace dbs

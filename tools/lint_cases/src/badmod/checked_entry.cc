@@ -1,0 +1,32 @@
+// expect: clean
+// The compliant shapes: a DBS_CHECK in the body, or an explicit delegation
+// annotation naming the callee that performs the validation.
+#include "badmod.h"
+
+#include "common/check.h"
+
+namespace dbs {
+
+double checked_entry(const Database& db, ChannelId channels) {
+  DBS_CHECK(channels >= 1);
+  (void)db;
+  return 0.0;
+}
+
+double delegated_entry(const Database& db, ChannelId channels) {
+  // dbs-lint: contract delegated to checked_entry
+  return checked_entry(db, channels);
+}
+
+// File-local helper: takes a Database but is not declared in any header of
+// this module, so the audit does not apply.
+static double local_helper(const Database& db) {
+  (void)db;
+  return 1.0;
+}
+
+double also_clean(const Database& db, ChannelId channels) {
+  return local_helper(db) + checked_entry(db, channels);
+}
+
+}  // namespace dbs

@@ -1,0 +1,16 @@
+// expect: contract-audit
+// Regression case: a C++14 digit separator (200'000) before a violation must
+// not derail the string-stripper into treating the rest of the file as a
+// char literal — the unchecked public entry point below must still be seen.
+#include "badmod.h"
+
+namespace dbs {
+
+constexpr unsigned long kBudget = 200'000;
+
+double unchecked_entry(const Database& db, ChannelId channels) {
+  (void)db;
+  return static_cast<double>(kBudget) * channels;
+}
+
+}  // namespace dbs

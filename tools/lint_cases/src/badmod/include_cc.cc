@@ -1,0 +1,6 @@
+// expect: include-cc
+// Including an implementation file silently duplicates definitions.
+#include "badmod.h"
+#include "checked_entry.cc"
+
+namespace dbs {}

@@ -1,0 +1,12 @@
+// expect: check-iwyu
+// Uses the contract macros but relies on a transitive include to get them.
+#include "badmod.h"
+
+namespace dbs {
+
+double uses_macro_without_include(double x) {
+  DBS_ASSERT(x >= 0.0);
+  return x;
+}
+
+}  // namespace dbs

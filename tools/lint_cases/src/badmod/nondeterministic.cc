@@ -1,0 +1,20 @@
+// expect: determinism
+// Every forbidden randomness/clock source in one file: std::rand, bare
+// rand/srand, std::random_device, and wall-clock time().
+#include "badmod.h"
+
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace dbs {
+
+double nondeterministic_sample() {
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  std::random_device rd;
+  double a = static_cast<double>(std::rand());
+  double b = static_cast<double>(rand());
+  return a + b + static_cast<double>(rd());
+}
+
+}  // namespace dbs

@@ -1,0 +1,15 @@
+// expect: clean
+// A justified exception: the allow-marker on the preceding line silences the
+// determinism rule for exactly that call site (and stays grep-able).
+#include "badmod.h"
+
+#include <ctime>
+
+namespace dbs {
+
+long wall_clock_for_log_header() {
+  // dbs-lint: allow(determinism) — log header timestamp, not simulation state
+  return static_cast<long>(time(nullptr));
+}
+
+}  // namespace dbs

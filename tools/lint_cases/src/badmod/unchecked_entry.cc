@@ -1,0 +1,17 @@
+// expect: contract-audit
+// A public entry point that consumes a Database without any DBS_CHECK and
+// without a delegation annotation: the contract audit must flag it.
+#include "badmod.h"
+
+#include "common/check.h"
+
+namespace dbs {
+
+double unchecked_entry(const Database& db, ChannelId channels) {
+  double total = 0.0;
+  for (ChannelId c = 0; c < channels; ++c) total += static_cast<double>(c);
+  (void)db;
+  return total;
+}
+
+}  // namespace dbs

@@ -1,0 +1,12 @@
+// expect: clean
+// A well-behaved test: uses only the public surface and the contract macros
+// with their include present.
+#include "common/check.h"
+
+namespace dbs_test {
+
+void exercise_public_surface() {
+  DBS_CHECK(1 + 1 == 2);
+}
+
+}  // namespace dbs_test

@@ -1,0 +1,11 @@
+// expect: detail-isolation
+// A test reaching into the library's detail:: internals.
+#include "common/check.h"
+
+namespace dbs_test {
+
+void poke_internals() {
+  ::dbs::detail::fail_check("x", "f.cc", 1, "reaching into internals");
+}
+
+}  // namespace dbs_test
