@@ -1,8 +1,10 @@
 #include "harness.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "common/csv.h"
 
@@ -18,11 +20,14 @@ Options Options::parse(int argc, char** argv) {
     } else if (arg == "--trials" && i + 1 < argc) {
       options.trials = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
       if (options.trials == 0) options.trials = 1;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      options.threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--csv" && i + 1 < argc) {
       options.csv_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--trials N] [--csv PATH] [--quick]\n", argv[0]);
+                   "usage: %s [--trials N] [--threads N] [--csv PATH] [--quick]\n",
+                   argv[0]);
       std::exit(2);
     }
   }
@@ -45,16 +50,74 @@ Measurement measure(const Database& db, Algorithm algorithm, ChannelId channels,
   return Measurement{result.waiting_time, result.cost, result.elapsed_ms};
 }
 
+namespace {
+
+// Resolves the worker count: explicit --threads wins, 0 auto-detects, and
+// the pool never exceeds the trial count (idle workers are pure overhead).
+std::size_t worker_count(const Options& options) {
+  std::size_t workers = options.threads;
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  return workers < options.trials ? workers : options.trials;
+}
+
+// Runs one seeded trial. Seeds are pre-assigned (base_seed + trial), so the
+// result depends only on the trial index, never on scheduling order.
+Measurement run_trial(const WorkloadConfig& config, Algorithm algorithm,
+                      ChannelId channels, double bandwidth,
+                      const Options& options, std::uint64_t base_seed,
+                      std::size_t trial) {
+  WorkloadConfig cfg = config;
+  cfg.seed = base_seed + trial;
+  const Database db = generate_database(cfg);
+  return measure(db, algorithm, channels, bandwidth, options.quick, cfg.seed);
+}
+
+}  // namespace
+
+std::vector<Measurement> measure_trials(const WorkloadConfig& config,
+                                        Algorithm algorithm, ChannelId channels,
+                                        double bandwidth, const Options& options,
+                                        std::uint64_t base_seed) {
+  std::vector<Measurement> per_trial(options.trials);
+  const std::size_t workers = worker_count(options);
+  if (workers <= 1) {
+    for (std::size_t trial = 0; trial < options.trials; ++trial) {
+      per_trial[trial] = run_trial(config, algorithm, channels, bandwidth,
+                                   options, base_seed, trial);
+    }
+    return per_trial;
+  }
+  // Fixed-size pool over an atomic work index: each worker claims the next
+  // unclaimed trial and writes only its own slot, so no two threads ever
+  // touch the same element and no ordering between trials is assumed.
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (std::size_t trial = next.fetch_add(1); trial < options.trials;
+           trial = next.fetch_add(1)) {
+        per_trial[trial] = run_trial(config, algorithm, channels, bandwidth,
+                                     options, base_seed, trial);
+      }
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+  return per_trial;
+}
+
 Measurement average_over_trials(const WorkloadConfig& config, Algorithm algorithm,
                                 ChannelId channels, double bandwidth,
                                 const Options& options, std::uint64_t base_seed) {
+  const std::vector<Measurement> per_trial =
+      measure_trials(config, algorithm, channels, bandwidth, options, base_seed);
+  // Reduce in trial order: floating-point addition is not associative, so a
+  // fixed summation order is what keeps parallel == serial bit-for-bit.
   Measurement total;
-  for (std::size_t trial = 0; trial < options.trials; ++trial) {
-    WorkloadConfig cfg = config;
-    cfg.seed = base_seed + trial;
-    const Database db = generate_database(cfg);
-    const Measurement m =
-        measure(db, algorithm, channels, bandwidth, options.quick, cfg.seed);
+  for (const Measurement& m : per_trial) {
     total.waiting_time += m.waiting_time;
     total.cost += m.cost;
     total.elapsed_ms += m.elapsed_ms;

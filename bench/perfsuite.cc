@@ -1,0 +1,244 @@
+// perfsuite — the repo's performance trajectory recorder.
+//
+// Runs a pinned matrix of DRP / DRP-CDS / VF^K / GOPT configurations (the
+// paper's Table-5 midpoints plus an N=2000 scale point) and emits a
+// machine-readable BENCH_<sha>.json with the per-config median and IQR of
+// wall time and cost plus host metadata. tools/perf_compare.py diffs two
+// such files and gates CI on >15% median wall-time regressions and on any
+// cost drift (costs are seeded, hence deterministic).
+//
+//   perfsuite [--out PATH] [--sha LABEL] [--trials N] [--threads N] [--gate]
+//
+// --gate shrinks the run for CI: 3 trials and the heavy scale-point GOPT
+// config skipped (compare gate files against a full baseline with
+// perf_compare.py --subset). Trials default to --threads 1 so wall times
+// measure the algorithm, not scheduler contention; per-trial seeds are
+// fixed, so every cost in the file is reproducible bit-for-bit.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "harness.h"
+
+namespace {
+
+using dbs::Algorithm;
+using dbs::ChannelId;
+using dbs::WorkloadConfig;
+using dbs::bench::Measurement;
+using dbs::bench::Options;
+
+struct SuiteConfig {
+  const char* name;       // stable key perf_compare matches on
+  Algorithm algorithm;
+  std::size_t items;
+  ChannelId channels;
+  double skewness;
+  double diversity;
+  double bandwidth;
+  std::uint64_t base_seed;
+  bool heavy;             // skipped in --gate mode
+};
+
+// The pinned matrix. Midpoint rows use the paper's Table-5 midpoints
+// (N=120, K=6, θ=0.8, Φ=2, b=10) with the same seed base as the figure
+// benches; scale rows stress the hot paths at N=2000, K=10. Changing any
+// row invalidates comparisons against older BENCH files — add new rows
+// instead of editing existing ones.
+constexpr double kSkew = 0.8, kPhi = 2.0, kBandwidth = 10.0;
+const SuiteConfig kMatrix[] = {
+    {"midpoint/drp", Algorithm::kDrp, 120, 6, kSkew, kPhi, kBandwidth, 1000, false},
+    {"midpoint/drp-cds", Algorithm::kDrpCds, 120, 6, kSkew, kPhi, kBandwidth, 1000,
+     false},
+    {"midpoint/vfk", Algorithm::kVfk, 120, 6, kSkew, kPhi, kBandwidth, 1000, false},
+    {"midpoint/gopt", Algorithm::kGopt, 120, 6, kSkew, kPhi, kBandwidth, 1000, false},
+    {"scale2000/drp", Algorithm::kDrp, 2000, 10, kSkew, kPhi, kBandwidth, 7000, false},
+    {"scale2000/drp-cds", Algorithm::kDrpCds, 2000, 10, kSkew, kPhi, kBandwidth, 7000,
+     false},
+    {"scale2000/vfk", Algorithm::kVfk, 2000, 10, kSkew, kPhi, kBandwidth, 7000, false},
+    {"scale2000/gopt", Algorithm::kGopt, 2000, 10, kSkew, kPhi, kBandwidth, 7000,
+     true},
+};
+
+// Reads the first "model name" line of /proc/cpuinfo; "unknown" elsewhere.
+std::string cpu_model() {
+  std::FILE* f = std::fopen("/proc/cpuinfo", "r");
+  if (f == nullptr) return "unknown";
+  char line[512];
+  std::string model = "unknown";
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "model name", 10) == 0) {
+      const char* colon = std::strchr(line, ':');
+      if (colon != nullptr) {
+        model = colon + 1;
+        while (!model.empty() && (model.front() == ' ' || model.front() == '\t')) {
+          model.erase(model.begin());
+        }
+        while (!model.empty() && (model.back() == '\n' || model.back() == ' ')) {
+          model.pop_back();
+        }
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return model;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void json_number_list(std::FILE* f, const std::vector<double>& values) {
+  std::fputc('[', f);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::fprintf(f, "%s%.17g", i == 0 ? "" : ", ", values[i]);
+  }
+  std::fputc(']', f);
+}
+
+// Median/IQR block for one metric: the per-trial sample is persisted so
+// perf_compare can diff files with different trial counts over the common
+// seed prefix.
+void json_metric(std::FILE* f, const char* key, const std::vector<double>& values) {
+  const double p25 = dbs::percentile(values, 0.25);
+  const double p75 = dbs::percentile(values, 0.75);
+  std::fprintf(f, "      \"%s\": {\"median\": %.17g, \"p25\": %.17g, "
+               "\"p75\": %.17g, \"iqr\": %.17g, \"per_trial\": ",
+               key, dbs::percentile(values, 0.5), p25, p75, p75 - p25);
+  json_number_list(f, values);
+  std::fputs("}", f);
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--out PATH] [--sha LABEL] [--trials N] "
+               "[--threads N] [--gate]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::string sha = "local";
+  Options options;
+  options.trials = 9;
+  options.threads = 1;  // serial by default: wall times must not share cores
+  bool gate = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--sha" && i + 1 < argc) {
+      sha = argv[++i];
+    } else if (arg == "--trials" && i + 1 < argc) {
+      options.trials = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (options.trials == 0) options.trials = 1;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      options.threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--gate") {
+      gate = true;
+      options.trials = 3;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (out_path.empty()) out_path = "BENCH_" + sha + ".json";
+
+  std::printf("== perfsuite — %zu trials/config, %s mode ==\n", options.trials,
+              gate ? "gate" : "full");
+
+  dbs::AsciiTable table(
+      {"config", "wall ms (median)", "wall ms (IQR)", "cost (median)"});
+  struct Row {
+    const SuiteConfig* config;
+    std::vector<double> wall, cost, wait;
+  };
+  std::vector<Row> rows;
+  for (const SuiteConfig& config : kMatrix) {
+    if (gate && config.heavy) {
+      std::printf("   %-18s skipped (heavy config, gate mode)\n", config.name);
+      continue;
+    }
+    const WorkloadConfig workload{.items = config.items,
+                                  .skewness = config.skewness,
+                                  .diversity = config.diversity,
+                                  .seed = 0};
+    const std::vector<Measurement> trials = dbs::bench::measure_trials(
+        workload, config.algorithm, config.channels, config.bandwidth, options,
+        config.base_seed);
+    Row row{&config, {}, {}, {}};
+    for (const Measurement& m : trials) {
+      row.wall.push_back(m.elapsed_ms);
+      row.cost.push_back(m.cost);
+      row.wait.push_back(m.waiting_time);
+    }
+    table.add_row(config.name,
+                  {dbs::percentile(row.wall, 0.5),
+                   dbs::percentile(row.wall, 0.75) - dbs::percentile(row.wall, 0.25),
+                   dbs::percentile(row.cost, 0.5)},
+                  3);
+    rows.push_back(std::move(row));
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perfsuite: cannot open %s for writing\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"dbs-bench-v1\",\n");
+  std::fprintf(f, "  \"sha\": \"%s\",\n", json_escape(sha).c_str());
+  std::fprintf(f, "  \"mode\": \"%s\",\n", gate ? "gate" : "full");
+  std::fprintf(f, "  \"trials\": %zu,\n", options.trials);
+  std::fprintf(f, "  \"threads\": %zu,\n", options.threads);
+  std::fprintf(f, "  \"host\": {\"cpu_model\": \"%s\", \"hardware_threads\": %u, "
+               "\"compiler\": \"%s\", \"build_flavor\": \"%s\"},\n",
+               json_escape(cpu_model()).c_str(),
+               std::thread::hardware_concurrency(), json_escape(__VERSION__).c_str(),
+               json_escape(DBS_BENCH_FLAVOR).c_str());
+  std::fputs("  \"configs\": [\n", f);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SuiteConfig& config = *rows[i].config;
+    std::fprintf(f, "    {\n      \"name\": \"%s\",\n", config.name);
+    std::fprintf(f, "      \"algorithm\": \"%s\",\n",
+                 std::string(dbs::algorithm_name(config.algorithm)).c_str());
+    std::fprintf(f, "      \"items\": %zu, \"channels\": %u, "
+                 "\"skewness\": %.17g, \"diversity\": %.17g, "
+                 "\"bandwidth\": %.17g, \"base_seed\": %llu,\n",
+                 config.items, static_cast<unsigned>(config.channels),
+                 config.skewness, config.diversity, config.bandwidth,
+                 static_cast<unsigned long long>(config.base_seed));
+    json_metric(f, "wall_ms", rows[i].wall);
+    std::fputs(",\n", f);
+    json_metric(f, "cost", rows[i].cost);
+    std::fputs(",\n", f);
+    json_metric(f, "wait", rows[i].wait);
+    std::fprintf(f, "\n    }%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fputs("  ]\n}\n", f);
+  std::fclose(f);
+  std::printf("perfsuite: wrote %s (%zu configs)\n", out_path.c_str(), rows.size());
+  return 0;
+}

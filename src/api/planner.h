@@ -29,9 +29,12 @@ struct PlanResult {
   std::vector<PlanPoint> sweep;
 };
 
-/// Evaluates K = 1..max_channels (capped at N), scheduling with `algorithm`
-/// at per-channel bandwidth total_bandwidth/K, and returns the K minimizing
-/// W_b. Requires total_bandwidth > 0 and max_channels ≥ 1.
+/// \brief Evaluates K = 1..max_channels (capped at N), scheduling with
+/// `algorithm` at per-channel bandwidth total_bandwidth/K, and returns the
+/// K minimizing W_b.
+/// `db` must be a validated non-empty catalogue; requires
+/// total_bandwidth > 0 and max_channels ≥ 1. The returned sweep holds one
+/// PlanPoint per evaluated K so callers can plot the full trade-off curve.
 PlanResult plan_channel_count(const Database& db, double total_bandwidth,
                               ChannelId max_channels,
                               Algorithm algorithm = Algorithm::kDrpCds);

@@ -38,13 +38,18 @@ struct AlgorithmInfo {
   bool exponential = false;   ///< true for BruteForce
 };
 
-/// All registered algorithms in presentation order.
+/// \brief All registered algorithms in presentation order.
+/// The returned registry is a process-lifetime constant; iterate it to
+/// enumerate every algorithm with its stable name and summary.
 const std::vector<AlgorithmInfo>& all_algorithms();
 
-/// Name → algorithm lookup ("drp-cds", "vfk", ...). Nullopt when unknown.
+/// \brief Name → algorithm lookup ("drp-cds", "vfk", ...).
+/// `name` must be one of the stable CLI/CSV names from all_algorithms();
+/// returns std::nullopt when the name is unknown.
 std::optional<Algorithm> algorithm_from_name(std::string_view name);
 
-/// Algorithm → stable name.
+/// \brief Algorithm → stable name ("unknown" for an out-of-range enum).
+/// The returned view points at the static registry and never dangles.
 std::string_view algorithm_name(Algorithm algorithm);
 
 /// Request: which algorithm, how many channels, and tuning knobs for the
@@ -66,8 +71,13 @@ struct ScheduleResult {
   double elapsed_ms = 0.0;    ///< wall-clock runtime of the algorithm proper
 };
 
-/// Runs the requested algorithm. Throws ContractViolation on invalid input
-/// (e.g. K > N) and std::runtime_error if BruteForce exceeds its node budget.
+/// \brief Runs the requested algorithm on `db` and returns the allocation
+/// with its headline metrics.
+/// `db` must be a validated non-empty catalogue; `request` selects the
+/// algorithm, channel count (1 ≤ K ≤ N), bandwidth (> 0) and per-algorithm
+/// tuning knobs. Throws ContractViolation on invalid input (e.g. K > N) and
+/// std::runtime_error if BruteForce exceeds its node budget. Stateless and
+/// safe to call from several threads on the same `db` concurrently.
 ScheduleResult schedule(const Database& db, const ScheduleRequest& request);
 
 }  // namespace dbs

@@ -26,6 +26,11 @@ Enforces project invariants that clang-tidy cannot express:
   detail-isolation   tests/ and bench/ must not name `detail::` symbols;
                      the detail namespaces are internal and not part of the
                      tested surface.
+  api-docs           Every namespace-scope declaration in a src/api/ header
+                     must carry a `///` doc comment on the line above, and
+                     function declarations must additionally contain a
+                     `\\brief` tag — src/api is the facade users read first,
+                     so an undocumented entry point there is a defect.
 
 Exit status: 0 when clean, 1 when any finding is reported, 2 on usage error.
 
@@ -197,6 +202,91 @@ def rule_detail_isolation(path: Path, stripped: str, lines, findings):
 
 
 # --------------------------------------------------------------------------
+# Rule: api-docs
+# --------------------------------------------------------------------------
+
+PREPROCESSOR_RE = re.compile(r"^\s*#.*$", re.M)
+TYPE_DECL_RE = re.compile(r"^(?:template\s*<[^;{}]*>\s*)?(?:class|struct|enum)\b")
+SKIP_DECL_RE = re.compile(r"^(?:using\b|typedef\b|extern\b|static_assert\b|friend\b)")
+BRIEF_RE = re.compile(r"[\\@]brief\b")
+
+
+def namespace_scope_declarations(stripped: str):
+    """Yields (offset, declaration-text, is_function) for each declaration at
+    namespace scope. Namespace braces are depth-neutral, so declarations
+    inside `namespace a::b { ... }` count as namespace scope while class
+    bodies and function bodies are skipped wholesale."""
+    text = PREPROCESSOR_RE.sub(lambda m: " " * len(m.group(0)), stripped)
+    n = len(text)
+    i = 0
+    while i < n:
+        while i < n and text[i].isspace():
+            i += 1
+        if i >= n:
+            return
+        if text[i] in ";}":  # stray terminators (e.g. closing a namespace)
+            i += 1
+            continue
+        # One declaration: runs to the first `;` or `{` outside parentheses.
+        start = i
+        parens = 0
+        while i < n and not (parens == 0 and text[i] in ";{"):
+            if text[i] == "(":
+                parens += 1
+            elif text[i] == ")":
+                parens -= 1
+            i += 1
+        decl = " ".join(text[start:i].split())
+        if i >= n:
+            return
+        if text[i] == "{":
+            if decl.startswith("namespace") or not decl:
+                i += 1  # depth-neutral: recurse into the namespace body
+                continue
+            body_end = find_matching_brace(text, i)
+            is_type = bool(TYPE_DECL_RE.match(decl))
+            if decl and not SKIP_DECL_RE.match(decl):
+                yield start, decl, not is_type and "(" in decl
+            i = body_end + 1
+            continue
+        # Terminated by `;`: plain declaration.
+        if decl and not SKIP_DECL_RE.match(decl):
+            is_type = bool(TYPE_DECL_RE.match(decl))
+            yield start, decl, not is_type and "(" in decl
+        i += 1
+
+
+def doc_block_above(lines, decl_line: int):
+    """Returns the contiguous `///` comment block ending directly above the
+    1-based `decl_line`, or None when the preceding line is not a doc line."""
+    block = []
+    ln = decl_line - 1
+    while ln >= 1 and lines[ln - 1].lstrip().startswith("///"):
+        block.append(lines[ln - 1])
+        ln -= 1
+    return block or None
+
+
+def rule_api_docs(path: Path, stripped: str, lines, findings):
+    for offset, decl, is_function in namespace_scope_declarations(stripped):
+        ln = line_of(stripped, offset)
+        if suppressed(lines, ln, "api-docs"):
+            continue
+        label = decl if len(decl) <= 48 else decl[:45] + "..."
+        block = doc_block_above(lines, ln)
+        if block is None:
+            findings.append(
+                Finding("api-docs", path, ln,
+                        f"public declaration '{label}' lacks a /// doc "
+                        "comment on the line above"))
+        elif is_function and not any(BRIEF_RE.search(line) for line in block):
+            findings.append(
+                Finding("api-docs", path, ln,
+                        f"doc comment of public function '{label}' lacks a "
+                        "\\brief tag"))
+
+
+# --------------------------------------------------------------------------
 # Rule: contract-audit
 # --------------------------------------------------------------------------
 
@@ -279,6 +369,8 @@ def lint_file(path: Path, rel: Path, findings):
     if top in SRC_DIRS:
         rule_determinism(path, stripped, lines, findings)
         rule_contract_audit(path, text, stripped, lines, findings)
+        if rel.parts[:2] == ("src", "api") and path.suffix == ".h":
+            rule_api_docs(path, stripped, lines, findings)
     if top in TEST_DIRS:
         rule_detail_isolation(path, stripped, lines, findings)
 

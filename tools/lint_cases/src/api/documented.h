@@ -1,0 +1,39 @@
+// expect: clean
+// Golden case: a fully documented src/api header — every namespace-scope
+// declaration has a /// comment and every function doc carries \brief.
+#pragma once
+
+namespace dbs {
+
+/// A documented public type.
+struct Example {
+  int value = 0;  ///< member docs are house style but not lint-enforced
+};
+
+/// \brief Enumerates documented modes.
+enum class Mode {
+  kFast,
+  kSlow,
+};
+
+/// \brief Computes a thing from `e`.
+/// `e` must be outlive the call; returns its value unchanged.
+int compute(const Example& e);
+
+/// \brief Overload resolution must not confuse the scanner.
+/// Multi-line declarations are matched from their first line.
+int compute(const Example& e,
+            Mode mode);
+
+// A namespace-scope declaration may opt out explicitly when the doc lives
+// elsewhere.  dbs-lint: allow(api-docs)
+int documented_elsewhere(int raw);
+
+namespace nested {
+
+/// \brief Declarations inside nested namespaces are still namespace scope.
+void touch();
+
+}  // namespace nested
+
+}  // namespace dbs

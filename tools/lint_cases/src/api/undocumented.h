@@ -1,0 +1,19 @@
+// expect: api-docs
+// Golden case: three api-docs violations — an undocumented type, an
+// undocumented function, and a function doc without a \brief tag. Class
+// members and function bodies must NOT be flagged (only namespace scope).
+#pragma once
+
+namespace dbs {
+
+struct Undocumented {
+  int value = 0;
+  int member_function();  // class member: not namespace scope, never flagged
+};
+
+int compute_undocumented(int raw);
+
+/// Has a doc comment, but no brief tag anywhere in the block.
+int compute_unbriefed(int raw);
+
+}  // namespace dbs
