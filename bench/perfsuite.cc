@@ -7,13 +7,21 @@
 // such files and gates CI on >15% median wall-time regressions and on any
 // cost drift (costs are seeded, hence deterministic).
 //
-//   perfsuite [--out PATH] [--sha LABEL] [--trials N] [--threads N] [--gate]
+//   perfsuite [--out PATH] [--sha LABEL] [--trials N] [--gate]
 //
 // --gate shrinks the run for CI: 3 trials and the heavy scale-point GOPT
 // config skipped (compare gate files against a full baseline with
-// perf_compare.py --subset). Trials default to --threads 1 so wall times
-// measure the algorithm, not scheduler contention; per-trial seeds are
-// fixed, so every cost in the file is reproducible bit-for-bit.
+// perf_compare.py --subset). Trials always run serially, one at a time, so
+// wall times measure the algorithm, not scheduler contention; per-trial
+// seeds are fixed, so every cost in the file is reproducible bit-for-bit.
+//
+// Every trial is bracketed by a fixed floating-point calibration spin whose
+// wall time probes the host's effective speed at that instant (recorded as
+// "calib_ms"). perf_compare gates the minimum wall/calibration ratio, which
+// cancels host-wide clock swings — shared and burstable cloud machines
+// routinely vary 2x minute to minute, which would otherwise make any fixed
+// wall-time threshold meaningless.
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +31,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "common/stopwatch.h"
 #include "common/table.h"
 #include "harness.h"
 
@@ -128,10 +137,24 @@ void json_metric(std::FILE* f, const char* key, const std::vector<double>& value
   std::fputs("}", f);
 }
 
+// The calibration spin: a serially-dependent FP chain whose work never
+// changes, so its wall time measures only how fast the host runs right now.
+// The volatile sink keeps the loop from being folded away; the dependent
+// multiply-add chain keeps it from vectorizing, so the spin scales with
+// clock speed the same way the schedulers' inner loops do.
+volatile double g_calibration_sink = 0.0;
+
+double calibration_spin_ms() {
+  const dbs::Stopwatch watch;
+  double acc = 1.0;
+  for (int i = 0; i < 1'000'000; ++i) acc = acc * 1.0000000001 + 1e-9;
+  g_calibration_sink = acc;
+  return watch.millis();
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--out PATH] [--sha LABEL] [--trials N] "
-               "[--threads N] [--gate]\n",
+               "usage: %s [--out PATH] [--sha LABEL] [--trials N] [--gate]\n",
                argv0);
   return 2;
 }
@@ -143,7 +166,8 @@ int main(int argc, char** argv) {
   std::string sha = "local";
   Options options;
   options.trials = 9;
-  options.threads = 1;  // serial by default: wall times must not share cores
+  options.threads = 1;  // always serial: wall times must not share cores,
+                        // and calibration spins must bracket each trial
   bool gate = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -154,8 +178,6 @@ int main(int argc, char** argv) {
     } else if (arg == "--trials" && i + 1 < argc) {
       options.trials = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
       if (options.trials == 0) options.trials = 1;
-    } else if (arg == "--threads" && i + 1 < argc) {
-      options.threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--gate") {
       gate = true;
       options.trials = 3;
@@ -168,11 +190,11 @@ int main(int argc, char** argv) {
   std::printf("== perfsuite — %zu trials/config, %s mode ==\n", options.trials,
               gate ? "gate" : "full");
 
-  dbs::AsciiTable table(
-      {"config", "wall ms (median)", "wall ms (IQR)", "cost (median)"});
+  dbs::AsciiTable table({"config", "wall ms (median)", "wall ms (IQR)",
+                         "calib ms (median)", "cost (median)"});
   struct Row {
     const SuiteConfig* config;
-    std::vector<double> wall, cost, wait;
+    std::vector<double> wall, calib, cost, wait;
   };
   std::vector<Row> rows;
   for (const SuiteConfig& config : kMatrix) {
@@ -184,18 +206,31 @@ int main(int argc, char** argv) {
                                   .skewness = config.skewness,
                                   .diversity = config.diversity,
                                   .seed = 0};
-    const std::vector<Measurement> trials = dbs::bench::measure_trials(
-        workload, config.algorithm, config.channels, config.bandwidth, options,
-        config.base_seed);
-    Row row{&config, {}, {}, {}};
-    for (const Measurement& m : trials) {
+    // Trials run one at a time so each can be bracketed by calibration
+    // spins; measure_trials seeds trial t of a batch as base + t, so a
+    // 1-trial batch at base + t reproduces exactly the same measurement.
+    Row row{&config, {}, {}, {}, {}};
+    Options one_trial = options;
+    one_trial.trials = 1;
+    for (std::size_t trial = 0; trial < options.trials; ++trial) {
+      const double calib_before = calibration_spin_ms();
+      const std::vector<Measurement> batch = dbs::bench::measure_trials(
+          workload, config.algorithm, config.channels, config.bandwidth,
+          one_trial, config.base_seed + trial);
+      const double calib_after = calibration_spin_ms();
+      const Measurement& m = batch.front();
       row.wall.push_back(m.elapsed_ms);
+      // Timing noise only ever adds time, so the smaller spin is the truer
+      // probe of the host's speed around this trial; a preemption hitting
+      // one spin must not masquerade as the machine being slow.
+      row.calib.push_back(std::min(calib_before, calib_after));
       row.cost.push_back(m.cost);
       row.wait.push_back(m.waiting_time);
     }
     table.add_row(config.name,
                   {dbs::percentile(row.wall, 0.5),
                    dbs::percentile(row.wall, 0.75) - dbs::percentile(row.wall, 0.25),
+                   dbs::percentile(row.calib, 0.5),
                    dbs::percentile(row.cost, 0.5)},
                   3);
     rows.push_back(std::move(row));
@@ -231,6 +266,8 @@ int main(int argc, char** argv) {
                  config.skewness, config.diversity, config.bandwidth,
                  static_cast<unsigned long long>(config.base_seed));
     json_metric(f, "wall_ms", rows[i].wall);
+    std::fputs(",\n", f);
+    json_metric(f, "calib_ms", rows[i].calib);
     std::fputs(",\n", f);
     json_metric(f, "cost", rows[i].cost);
     std::fputs(",\n", f);

@@ -30,7 +30,15 @@ Checks, in order:
               fingerprint (cpu_model + build_flavor) or --force-time is
               given — cross-host or sanitizer-build wall times are not
               comparable. Configs whose OLD median is below --min-ms are
-              treated as noise and never gated.
+              treated as noise and never gated. When both files carry
+              per-trial calibration spins (`calib_ms`, written by current
+              perfsuite builds), the gated quantity is the *minimum*
+              wall/calibration ratio over the common trial prefix instead
+              of the raw wall median: the spin does fixed work, so
+              host-wide clock swings (shared/burstable machines vary 2x
+              minute to minute) cancel out of the ratio, and the minimum
+              discards one-sided scheduling noise that hits a trial
+              without hitting its bracketing spins.
 
 Exit status: 0 clean (or time-gate skipped), 1 regression found,
 2 malformed input, 77 no baseline available.
@@ -98,6 +106,33 @@ def resolve_baseline(arg: Path) -> Path:
 def host_fingerprint(data: dict) -> tuple:
     host = data.get("host", {})
     return (host.get("cpu_model", "?"), host.get("build_flavor", "?"))
+
+
+def normalized_wall_floor(config: dict, trials: int):
+    """Minimum wall/calibration ratio over the first `trials` trials, or
+    None when the config has no usable `calib_ms` block.
+
+    The minimum, not the median: timing noise is one-sided (preemptions and
+    slow windows only ever add time), so the smallest observed ratio is the
+    best estimate of the config's intrinsic cost in spin units. The prefix
+    restriction matters because trials are distinct seeded workloads with
+    different intrinsic work — a 3-trial gate file and a 9-trial baseline
+    are only comparable over the trials they share, exactly like the cost
+    determinism check.
+
+    Files written before calibration existed (or hand-built fixtures) lack
+    `calib_ms`; returning None falls back to raw wall medians so old
+    baselines keep gating.
+    """
+    calib = config.get("calib_ms")
+    if not isinstance(calib, dict):
+        return None
+    walls = config["wall_ms"]["per_trial"]
+    spins = calib.get("per_trial")
+    if not isinstance(spins, list) or len(spins) != len(walls) \
+            or any(not isinstance(s, (int, float)) or s <= 0 for s in spins):
+        return None
+    return min(w / s for w, s in zip(walls[:trials], spins[:trials]))
 
 
 def relative_delta(old: float, new: float) -> float:
@@ -172,19 +207,30 @@ def compare(old: dict, new: dict, *, max_regression: float, min_ms: float,
                   f"({old_median:.3f} ms < {min_ms:.3f} ms, wall not gated)",
                   file=out)
             continue
-        ratio = new_median / old_median if old_median > 0 else float("inf")
+        shared_trials = min(len(old_config["wall_ms"]["per_trial"]),
+                            len(new_config["wall_ms"]["per_trial"]))
+        old_norm = normalized_wall_floor(old_config, shared_trials)
+        new_norm = normalized_wall_floor(new_config, shared_trials)
+        if old_norm is not None and new_norm is not None:
+            # Clock-normalized gate: the ratio of work to a fixed spin is
+            # immune to host-wide speed swings between the two runs.
+            ratio = new_norm / old_norm if old_norm > 0 else float("inf")
+            shown = (f"{old_norm:.2f} -> {new_norm:.2f} x calib "
+                     f"(raw {old_median:.3f} -> {new_median:.3f} ms)")
+        else:
+            ratio = new_median / old_median if old_median > 0 else float("inf")
+            shown = f"{old_median:.3f} -> {new_median:.3f} ms"
         if ratio > 1.0 + max_regression:
-            print(f"FAIL {name}: wall-time regression "
-                  f"{old_median:.3f} -> {new_median:.3f} ms "
+            print(f"FAIL {name}: wall-time regression {shown} "
                   f"(+{(ratio - 1.0) * 100.0:.1f}% > {max_regression * 100.0:.0f}%)",
                   file=out)
             failures += 1
         elif ratio < 1.0 - max_regression:
-            print(f"  ok {name}: improvement {old_median:.3f} -> "
-                  f"{new_median:.3f} ms ({(1.0 - ratio) * 100.0:.1f}% faster — "
+            print(f"  ok {name}: improvement {shown} "
+                  f"({(1.0 - ratio) * 100.0:.1f}% faster — "
                   "consider refreshing the baseline)", file=out)
         else:
-            print(f"  ok {name}: {old_median:.3f} -> {new_median:.3f} ms "
+            print(f"  ok {name}: {shown} "
                   f"({(ratio - 1.0) * 100.0:+.1f}%)", file=out)
 
     if failures:
@@ -236,6 +282,12 @@ def selftest() -> int:
         run("base.json", "other_host.json", 0,
             label="foreign host (time gate auto-skips)"),
         run("base.json", "param_drift.json", 1, label="workload param drift"),
+        run("calib_base.json", "clock_pass.json", 0,
+            label="host clock swing (wall 2x, calib 2x — normalized pass)"),
+        run("calib_base.json", "clock_regress.json", 1,
+            label="real regression under calibration (wall 2x, calib flat)"),
+        run("calib_base.json", "pass.json", 0,
+            label="one-sided calib falls back to raw wall medians"),
     ]
     if all(checks):
         print("selftest: all golden cases behave")
