@@ -8,6 +8,14 @@
 // cost drift (costs are seeded, hence deterministic).
 //
 //   perfsuite [--out PATH] [--sha LABEL] [--trials N] [--gate]
+//             [--metrics-out PATH] [--trace-out PATH]
+//
+// --metrics-out dumps the process-global metrics registry (every counter the
+// schedulers incremented across the whole run) as dbs-metrics-v1 JSON —
+// pretty-print it with tools/obs_dump. --trace-out enables the scoped-span
+// tracer before the matrix runs and writes Chrome trace-event JSON, loadable
+// in chrome://tracing or Perfetto. Both files are empty shells when the
+// build has DBS_OBS=OFF, since the no-op macros record nothing.
 //
 // --gate shrinks the run for CI: 3 trials and the heavy scale-point GOPT
 // config skipped (compare gate files against a full baseline with
@@ -34,6 +42,8 @@
 #include "common/stopwatch.h"
 #include "common/table.h"
 #include "harness.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -154,7 +164,8 @@ double calibration_spin_ms() {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--out PATH] [--sha LABEL] [--trials N] [--gate]\n",
+               "usage: %s [--out PATH] [--sha LABEL] [--trials N] [--gate]\n"
+               "          [--metrics-out PATH] [--trace-out PATH]\n",
                argv0);
   return 2;
 }
@@ -169,6 +180,8 @@ int main(int argc, char** argv) {
   options.threads = 1;  // always serial: wall times must not share cores,
                         // and calibration spins must bracket each trial
   bool gate = false;
+  std::string metrics_out;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--out" && i + 1 < argc) {
@@ -181,11 +194,19 @@ int main(int argc, char** argv) {
     } else if (arg == "--gate") {
       gate = true;
       options.trials = 3;
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
     } else {
       return usage(argv[0]);
     }
   }
   if (out_path.empty()) out_path = "BENCH_" + sha + ".json";
+  // Spans only cost anything when something will consume them; wall times in
+  // the emitted BENCH file therefore include tracing overhead iff the caller
+  // asked for a trace.
+  if (!trace_out.empty()) dbs::obs::Tracer::global().enable();
 
   std::printf("== perfsuite — %zu trials/config, %s mode ==\n", options.trials,
               gate ? "gate" : "full");
@@ -277,5 +298,29 @@ int main(int argc, char** argv) {
   std::fputs("  ]\n}\n", f);
   std::fclose(f);
   std::printf("perfsuite: wrote %s (%zu configs)\n", out_path.c_str(), rows.size());
+
+  if (!metrics_out.empty()) {
+    const dbs::obs::MetricsSnapshot snapshot =
+        dbs::obs::MetricsRegistry::global().snapshot();
+    if (!dbs::obs::write_json_file(snapshot, metrics_out)) {
+      std::fprintf(stderr, "perfsuite: cannot open %s for writing\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+    std::printf("perfsuite: wrote %s (%zu instruments)\n", metrics_out.c_str(),
+                snapshot.size());
+  }
+  if (!trace_out.empty()) {
+    dbs::obs::Tracer& tracer = dbs::obs::Tracer::global();
+    tracer.disable();
+    if (!tracer.write_json_file(trace_out)) {
+      std::fprintf(stderr, "perfsuite: cannot open %s for writing\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    std::printf("perfsuite: wrote %s (%zu events, %llu dropped)\n",
+                trace_out.c_str(), tracer.events().size(),
+                static_cast<unsigned long long>(tracer.dropped()));
+  }
   return 0;
 }

@@ -4,11 +4,13 @@
 #include <optional>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace dbs {
 
 PlanResult plan_channel_count(const Database& db, double total_bandwidth,
                               ChannelId max_channels, Algorithm algorithm) {
+  DBS_OBS_SPAN("api.planner.plan");
   DBS_CHECK(total_bandwidth > 0.0);
   DBS_CHECK(max_channels >= 1);
   const ChannelId limit =
@@ -20,6 +22,7 @@ PlanResult plan_channel_count(const Database& db, double total_bandwidth,
   sweep.reserve(limit);
 
   for (ChannelId k = 1; k <= limit; ++k) {
+    DBS_OBS_SPAN("api.planner.sweep_k");
     ScheduleRequest request;
     request.algorithm = algorithm;
     request.channels = k;
@@ -31,6 +34,10 @@ PlanResult plan_channel_count(const Database& db, double total_bandwidth,
       best_k = k;
     }
   }
+
+  DBS_OBS_COUNTER_INC("api.planner.runs");
+  DBS_OBS_COUNTER_ADD("api.planner.k_evaluated", limit);
+  DBS_OBS_GAUGE_SET("api.planner.best_k", best_k);
   return PlanResult{std::move(*best), best_k, std::move(sweep)};
 }
 

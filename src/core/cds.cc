@@ -1,6 +1,7 @@
 #include "core/cds.h"
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace dbs {
 
@@ -26,16 +27,27 @@ CdsMove best_move(const Allocation& alloc) {
 
 namespace {
 
+/// Moves one full scan evaluates: every item against every other channel.
+std::size_t full_scan_evaluations(const Allocation& alloc) {
+  return alloc.channels() == 0
+             ? 0
+             : alloc.items() * static_cast<std::size_t>(alloc.channels() - 1);
+}
+
 /// First strictly-improving move in (item, channel) scan order, or a move
-/// with gain 0 when none improves.
-CdsMove first_improving_move(const Allocation& alloc, double min_gain) {
+/// with gain 0 when none improves. `evaluated` reports how many candidate
+/// gains were computed before returning.
+CdsMove first_improving_move(const Allocation& alloc, double min_gain,
+                             std::size_t& evaluated) {
   const std::size_t n = alloc.items();
   const ChannelId k = alloc.channels();
+  evaluated = 0;
   for (ItemId x = 0; x < n; ++x) {
     const ChannelId p = alloc.channel_of(x);
     for (ChannelId q = 0; q < k; ++q) {
       if (q == p) continue;
       const double gain = alloc.move_gain(x, q);
+      ++evaluated;
       if (gain > min_gain) return CdsMove{x, p, q, gain};
     }
   }
@@ -72,6 +84,9 @@ class IndexedCds {
     repair(move.from, move.to);
   }
 
+  std::size_t moves_evaluated() const { return moves_evaluated_; }
+  std::size_t repairs() const { return repairs_; }
+
  private:
   struct Entry {
     double gain = 0.0;
@@ -90,6 +105,7 @@ class IndexedCds {
         entry = Entry{gain, q};
       }
     }
+    moves_evaluated_ += alloc_.channels() - 1;
     cache_[x] = entry;
   }
 
@@ -98,12 +114,14 @@ class IndexedCds {
       const ChannelId home = alloc_.channel_of(y);
       if (home == p || home == q || cache_[y].to == p || cache_[y].to == q) {
         recompute(y);
+        ++repairs_;
         continue;
       }
       // Cached target untouched; only gains toward p and q moved. Keep the
       // scan's tie-break: prefer the smaller channel id on equal gain.
       for (ChannelId c : {std::min(p, q), std::max(p, q)}) {
         const double gain = alloc_.move_gain(y, c);
+        ++moves_evaluated_;
         if (gain > cache_[y].gain ||
             (gain == cache_[y].gain && c < cache_[y].to)) {
           cache_[y] = Entry{gain, c};
@@ -114,6 +132,8 @@ class IndexedCds {
 
   Allocation& alloc_;
   std::vector<Entry> cache_;
+  std::size_t moves_evaluated_ = 0;
+  std::size_t repairs_ = 0;
 };
 
 CdsStats run_cds_indexed(Allocation& alloc, const CdsOptions& options) {
@@ -127,9 +147,38 @@ CdsStats run_cds_indexed(Allocation& alloc, const CdsOptions& options) {
       engine.apply(move);
       ++stats.iterations;
     }
+    stats.moves_evaluated = engine.moves_evaluated();
+    stats.index_repairs = engine.repairs();
   }
-  stats.converged = stats.iterations < options.max_iterations ||
-                    best_move(alloc).gain <= options.min_gain;
+  const bool hit_cap = stats.iterations >= options.max_iterations;
+  if (hit_cap) stats.moves_evaluated += full_scan_evaluations(alloc);
+  stats.converged = !hit_cap || best_move(alloc).gain <= options.min_gain;
+  stats.final_cost = alloc.cost();
+  return stats;
+}
+
+CdsStats run_cds_scan(Allocation& alloc, const CdsOptions& options) {
+  CdsStats stats;
+  stats.initial_cost = alloc.cost();
+
+  while (stats.iterations < options.max_iterations) {
+    CdsMove move;
+    if (options.policy == CdsPolicy::kBestImprovement) {
+      move = best_move(alloc);
+      stats.moves_evaluated += full_scan_evaluations(alloc);
+    } else {
+      std::size_t evaluated = 0;
+      move = first_improving_move(alloc, options.min_gain, evaluated);
+      stats.moves_evaluated += evaluated;
+    }
+    if (move.gain <= options.min_gain) break;  // local optimum (line 18 of CDS)
+    alloc.move(move.item, move.to);
+    ++stats.iterations;
+  }
+
+  const bool hit_cap = stats.iterations >= options.max_iterations;
+  if (hit_cap) stats.moves_evaluated += full_scan_evaluations(alloc);
+  stats.converged = !hit_cap || best_move(alloc).gain <= options.min_gain;
   stats.final_cost = alloc.cost();
   return stats;
 }
@@ -137,26 +186,16 @@ CdsStats run_cds_indexed(Allocation& alloc, const CdsOptions& options) {
 }  // namespace
 
 CdsStats run_cds(Allocation& alloc, const CdsOptions& options) {
-  if (options.engine == CdsEngine::kIndexed &&
-      options.policy == CdsPolicy::kBestImprovement) {
-    return run_cds_indexed(alloc, options);
-  }
-
-  CdsStats stats;
-  stats.initial_cost = alloc.cost();
-
-  while (stats.iterations < options.max_iterations) {
-    const CdsMove move = options.policy == CdsPolicy::kBestImprovement
-                             ? best_move(alloc)
-                             : first_improving_move(alloc, options.min_gain);
-    if (move.gain <= options.min_gain) break;  // local optimum (line 18 of CDS)
-    alloc.move(move.item, move.to);
-    ++stats.iterations;
-  }
-
-  stats.converged = stats.iterations < options.max_iterations ||
-                    best_move(alloc).gain <= options.min_gain;
-  stats.final_cost = alloc.cost();
+  DBS_OBS_SPAN("core.cds.run");
+  const CdsStats stats = options.engine == CdsEngine::kIndexed &&
+                                 options.policy == CdsPolicy::kBestImprovement
+                             ? run_cds_indexed(alloc, options)
+                             : run_cds_scan(alloc, options);
+  DBS_OBS_COUNTER_INC("core.cds.runs");
+  DBS_OBS_COUNTER_ADD("core.cds.iterations", stats.iterations);
+  DBS_OBS_COUNTER_ADD("core.cds.moves_evaluated", stats.moves_evaluated);
+  DBS_OBS_COUNTER_ADD("core.cds.index_repairs", stats.index_repairs);
+  DBS_OBS_HISTOGRAM_OBSERVE("core.cds.iterations_per_run", stats.iterations);
   return stats;
 }
 

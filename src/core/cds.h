@@ -57,6 +57,15 @@ struct CdsStats {
   double final_cost = 0.0;
   bool converged = true;  ///< false iff max_iterations stopped the search
 
+  /// Candidate moves whose Δc was computed. This is the real work metric for
+  /// comparing engines: kScan pays N·(K−1) per iteration while kIndexed pays
+  /// only for cache repairs, so equal `iterations` hide very different costs.
+  std::size_t moves_evaluated = 0;
+
+  /// Cache entries recomputed from scratch by the kIndexed engine's repair
+  /// pass (always 0 for kScan, which keeps no cache).
+  std::size_t index_repairs = 0;
+
   double total_reduction() const { return initial_cost - final_cost; }
 };
 

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "core/partition.h"
+#include "obs/obs.h"
 
 namespace dbs {
 namespace {
@@ -48,6 +49,7 @@ double selection_key(const DrpGroup& g, SplitSelection selection,
 }  // namespace
 
 DrpResult run_drp(const Database& db, ChannelId channels, const DrpOptions& options) {
+  DBS_OBS_SPAN("core.drp.run");
   const std::size_t n = db.size();
   DBS_CHECK_MSG(channels >= 1, "need at least one channel");
   DBS_CHECK_MSG(channels <= n,
@@ -108,6 +110,12 @@ DrpResult run_drp(const Database& db, ChannelId channels, const DrpOptions& opti
     for (std::size_t i = done[gi].begin; i < done[gi].end; ++i) {
       assignment[order[i]] = static_cast<ChannelId>(gi);
     }
+  }
+
+  DBS_OBS_COUNTER_INC("core.drp.runs");
+  DBS_OBS_COUNTER_ADD("core.drp.splits", splits);
+  for (const DrpGroup& g : done) {
+    DBS_OBS_HISTOGRAM_OBSERVE("core.drp.group_items", g.end - g.begin);
   }
 
   return DrpResult{Allocation(db, channels, std::move(assignment)), std::move(order),

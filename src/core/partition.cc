@@ -1,6 +1,7 @@
 #include "core/partition.h"
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace dbs {
 
@@ -19,6 +20,8 @@ PrefixSums::PrefixSums(const Database& db, std::span<const ItemId> order) {
 SplitResult best_split(const PrefixSums& sums, std::size_t begin, std::size_t end) {
   DBS_CHECK_MSG(end <= sums.freq.size() - 1, "slice end out of range");
   DBS_CHECK_MSG(end - begin >= 2, "cannot split a group of fewer than two items");
+  DBS_OBS_COUNTER_INC("core.partition.split_searches");
+  DBS_OBS_COUNTER_ADD("core.partition.split_candidates", end - begin - 1);
 
   SplitResult best;
   double best_total = 0.0;

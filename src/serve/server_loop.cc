@@ -3,7 +3,9 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/stopwatch.h"
 #include "model/cost.h"
+#include "obs/obs.h"
 
 namespace dbs {
 
@@ -24,16 +26,28 @@ Database BroadcastServerLoop::rebuild_database() const {
 }
 
 EpochReport BroadcastServerLoop::observe_window(const std::vector<Request>& window) {
+  DBS_OBS_SPAN("serve.epoch");
   tracker_.observe(window);
   Database fresh = rebuild_database();
 
   // Repair: carry the on-air assignment into the new popularity estimate and
   // let CDS fix it up.
   Allocation repaired(fresh, config_.channels, alloc_.assignment());
-  const CdsStats repair_stats = run_cds(repaired);
+  Stopwatch repair_watch;
+  CdsStats repair_stats;
+  {
+    DBS_OBS_SPAN("serve.epoch.repair");
+    repair_stats = run_cds(repaired);
+  }
+  const double repair_ms = repair_watch.millis();
 
   // Reference rebuild from scratch.
-  DrpCdsResult rebuilt = run_drp_cds(fresh, config_.channels);
+  Stopwatch rebuild_watch;
+  DrpCdsResult rebuilt = [&] {
+    DBS_OBS_SPAN("serve.epoch.rebuild");
+    return run_drp_cds(fresh, config_.channels);
+  }();
+  const double rebuild_ms = rebuild_watch.millis();
 
   EpochReport report;
   report.epoch = ++epoch_;
@@ -41,9 +55,18 @@ EpochReport BroadcastServerLoop::observe_window(const std::vector<Request>& wind
   report.repaired_cost = repaired.cost();
   report.rebuilt_cost = rebuilt.final_cost;
   report.repair_moves = repair_stats.iterations;
+  report.repair_ms = repair_ms;
+  report.rebuild_ms = rebuild_ms;
   report.adopted_rebuild =
       rebuilt.final_cost <
       repaired.cost() * (1.0 - config_.rebuild_threshold);
+
+  DBS_OBS_COUNTER_INC("serve.epochs");
+  DBS_OBS_COUNTER_ADD("serve.requests_observed", window.size());
+  DBS_OBS_COUNTER_ADD("serve.repair_moves", repair_stats.iterations);
+  if (report.adopted_rebuild) DBS_OBS_COUNTER_INC("serve.rebuild_adoptions");
+  DBS_OBS_HISTOGRAM_OBSERVE("serve.repair_ms", repair_ms);
+  DBS_OBS_HISTOGRAM_OBSERVE("serve.rebuild_ms", rebuild_ms);
 
   // Swap in the chosen allocation; db_ must outlive alloc_, so move the
   // database first and rebind the allocation against the stored instance.
@@ -53,6 +76,7 @@ EpochReport BroadcastServerLoop::observe_window(const std::vector<Request>& wind
   db_ = std::move(fresh);
   alloc_ = Allocation(db_, config_.channels, chosen);
   report.waiting_time = program_waiting_time(alloc_, config_.bandwidth);
+  report.metrics = obs::MetricsRegistry::global().snapshot();
   return report;
 }
 

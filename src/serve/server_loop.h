@@ -19,6 +19,7 @@
 #include "core/drp_cds.h"
 #include "model/allocation.h"
 #include "model/database.h"
+#include "obs/metrics.h"
 #include "workload/estimate.h"
 #include "workload/trace.h"
 
@@ -42,6 +43,16 @@ struct EpochReport {
   bool adopted_rebuild = false;
   std::size_t repair_moves = 0;
   double waiting_time = 0.0;    ///< W_b of the program now on air
+
+  /// Wall time of the CDS repair step (Stopwatch, milliseconds).
+  double repair_ms = 0.0;
+  /// Wall time of the reference DRP-CDS rebuild (Stopwatch, milliseconds).
+  double rebuild_ms = 0.0;
+
+  /// Snapshot of the process-global metrics registry taken at the end of the
+  /// epoch, so operators see cumulative per-decision telemetry (CDS moves,
+  /// DRP splits, ...) next to the epoch's costs. Empty when DBS_OBS=OFF.
+  obs::MetricsSnapshot metrics;
 };
 
 /// Long-running server: owns the catalogue sizes, the popularity estimate

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "obs/obs.h"
 #include "sim/event_queue.h"
 
 namespace dbs {
@@ -45,6 +46,7 @@ class ReportBuilder {
 }  // namespace
 
 SimReport simulate(const BroadcastProgram& program, const std::vector<Request>& trace) {
+  DBS_OBS_SPAN("sim.simulate");
   const ChannelId channels = program.channels();
   ReportBuilder builder(channels);
   if (trace.empty()) return builder.build();
@@ -112,13 +114,20 @@ SimReport simulate(const BroadcastProgram& program, const std::vector<Request>& 
     queue.schedule(0.0, [&, c] { start_slot(c); });
   }
 
-  queue.run_all();
+  // Depth right before draining = every arrival plus one kick per channel,
+  // the high-water mark for a run that only ever pops and reschedules.
+  DBS_OBS_HISTOGRAM_OBSERVE("sim.queue_depth", queue.pending());
+  const std::size_t fired = queue.run_all();
+  DBS_OBS_COUNTER_INC("sim.runs");
+  DBS_OBS_COUNTER_ADD("sim.events_fired", fired);
+  DBS_OBS_COUNTER_ADD("sim.requests_served", trace.size());
   DBS_CHECK_MSG(outstanding == 0, outstanding << " requests never completed");
   return builder.build();
 }
 
 SimReport replay_analytic(const BroadcastProgram& program,
                           const std::vector<Request>& trace) {
+  DBS_OBS_SPAN("sim.replay_analytic");
   ReportBuilder builder(program.channels());
   for (const Request& request : trace) {
     const double done = program.delivery_time(request.item, request.time);

@@ -143,6 +143,52 @@ TEST(CdsIndexed, ProducesIdenticalResultToScanEngine) {
   }
 }
 
+TEST(CdsStatsWork, ScanCountsOneFullScanPerIterationPlusConvergenceCheck) {
+  const Database db = generate_database({.items = 30, .seed = 41});
+  Allocation alloc = run_drp(db, 4).allocation;
+  const CdsStats stats = run_cds(alloc, {.engine = CdsEngine::kScan});
+  // Best-improvement scans all N·(K−1) moves every iteration, and one final
+  // scan discovers there is nothing left to apply.
+  EXPECT_EQ(stats.moves_evaluated, (stats.iterations + 1) * 30 * (4 - 1));
+  EXPECT_EQ(stats.index_repairs, 0u) << "kScan keeps no cache to repair";
+}
+
+TEST(CdsStatsWork, IndexedDoesStrictlyLessWorkThanScan) {
+  // Same move sequence, far fewer Δc evaluations — the whole point of the
+  // indexed engine, now directly visible in the stats.
+  const Database db = generate_database({.items = 80, .diversity = 2.0, .seed = 42});
+  Allocation scan(db, 5);
+  Allocation indexed = scan;
+  const CdsStats s_scan = run_cds(scan, {.engine = CdsEngine::kScan});
+  const CdsStats s_indexed = run_cds(indexed, {.engine = CdsEngine::kIndexed});
+  ASSERT_GT(s_scan.iterations, 0u);
+  EXPECT_GT(s_indexed.moves_evaluated, 0u);
+  EXPECT_LT(s_indexed.moves_evaluated, s_scan.moves_evaluated);
+  EXPECT_GT(s_indexed.index_repairs, 0u);
+}
+
+TEST(CdsStatsWork, FirstImprovementStopsScanningEarly) {
+  const Database db = generate_database({.items = 50, .diversity = 2.0, .seed = 43});
+  Allocation best(db, 5);
+  Allocation first = best;
+  const CdsStats s_best = run_cds(best, {.policy = CdsPolicy::kBestImprovement});
+  const CdsStats s_first = run_cds(first, {.policy = CdsPolicy::kFirstImprovement});
+  ASSERT_GT(s_first.iterations, 0u);
+  // Per applied move, first-improvement must evaluate no more than the full
+  // scan (it stops at the first improving candidate).
+  EXPECT_LE(s_first.moves_evaluated / (s_first.iterations + 1),
+            s_best.moves_evaluated / (s_best.iterations + 1));
+}
+
+TEST(CdsStatsWork, NoMovesMeansOneScanOnly) {
+  const Database db = generate_database({.items = 20, .seed = 44});
+  Allocation alloc = run_drp(db, 3).allocation;
+  run_cds(alloc);  // reach the local optimum
+  const CdsStats stats = run_cds(alloc);
+  EXPECT_EQ(stats.iterations, 0u);
+  EXPECT_EQ(stats.moves_evaluated, 20u * (3 - 1));
+}
+
 TEST(CdsIndexed, IdenticalFromArbitraryStartsToo) {
   const Database db = generate_database({.items = 90, .diversity = 2.5, .seed = 31});
   Rng rng(5);

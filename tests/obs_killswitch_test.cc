@@ -1,0 +1,63 @@
+// Proves the DBS_OBS kill switch really compiles the macro layer down to
+// nothing. This TU is built with DBS_OBS_ENABLED=0 forced by
+// tests/CMakeLists.txt regardless of the build-wide DBS_OBS option, so the
+// macros below must (a) register no instruments, (b) leave their argument
+// expressions unevaluated, and (c) still type-check. When the whole build is
+// configured with -DDBS_OBS=OFF, the extra section at the bottom also drives
+// the real scheduler hot paths and asserts the process-global registry stays
+// empty — the "grep the registry for zero registered instruments" gate.
+#include <gtest/gtest.h>
+
+#include "core/drp_cds.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "workload/generator.h"
+
+static_assert(DBS_OBS_ENABLED == 0,
+              "obs_killswitch_test must be compiled with the kill switch off");
+
+namespace dbs {
+namespace {
+
+TEST(ObsKillswitch, MacrosRegisterNothing) {
+  DBS_OBS_COUNTER_INC("killswitch.counter");
+  DBS_OBS_COUNTER_ADD("killswitch.counter", 41);
+  DBS_OBS_GAUGE_SET("killswitch.gauge", 2.5);
+  DBS_OBS_HISTOGRAM_OBSERVE("killswitch.histogram", 7.0);
+  { DBS_OBS_SPAN("killswitch.span"); }
+  EXPECT_EQ(obs::MetricsRegistry::global().size(), 0u);
+  EXPECT_TRUE(obs::MetricsRegistry::global().snapshot().empty());
+}
+
+TEST(ObsKillswitch, ArgumentsAreNotEvaluated) {
+  int evaluations = 0;
+  DBS_OBS_COUNTER_ADD("killswitch.side_effect", ++evaluations);
+  DBS_OBS_GAUGE_SET("killswitch.side_effect2", ++evaluations);
+  DBS_OBS_HISTOGRAM_OBSERVE("killswitch.side_effect3", ++evaluations);
+  EXPECT_EQ(evaluations, 0) << "no-op macros must not evaluate their arguments";
+}
+
+TEST(ObsKillswitch, SpansRecordNothingEvenWithTracerEnabled) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.enable();
+  { DBS_OBS_SPAN("killswitch.traced_span"); }
+  tracer.disable();
+  EXPECT_TRUE(tracer.events().empty());
+}
+
+#if !DBS_OBS_LIBRARY_ENABLED
+// Only meaningful when the *library* was also built with DBS_OBS=OFF: the
+// instrumented hot paths run end-to-end and must leave the registry empty.
+TEST(ObsKillswitch, LibraryHotPathsRegisterNothing) {
+  const Database db = generate_database({.items = 80, .seed = 21});
+  const DrpCdsResult result = run_drp_cds(db, 6);
+  EXPECT_GT(result.final_cost, 0.0);
+  EXPECT_EQ(obs::MetricsRegistry::global().size(), 0u)
+      << "DBS_OBS=OFF build registered instruments from library code";
+}
+#endif
+
+}  // namespace
+}  // namespace dbs

@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/distributions.h"
 #include "model/cost.h"
+#include "obs/obs.h"  // for the DBS_OBS_ENABLED default
 #include "workload/drift.h"
 #include "workload/generator.h"
 
@@ -130,6 +131,42 @@ TEST(ServerLoop, AllocationAlwaysValidAcrossEpochs) {
     EXPECT_EQ(&server.allocation().database(), &server.database())
         << "allocation must reference the server's live database";
   }
+}
+
+TEST(ServerLoop, ReportsRepairAndRebuildWallTimes) {
+  BroadcastServerLoop server(sample_sizes(50, 6), {.channels = 5});
+  const auto freqs = zipf_probabilities(50, 1.2);
+  Rng rng(10);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    const EpochReport r = server.observe_window(window_from(freqs, 2000, rng));
+    // Stopwatch wall times are always non-negative, and the full DRP-CDS
+    // rebuild does strictly positive work every epoch. The repair can be a
+    // no-move CDS pass, so only its sign is guaranteed.
+    EXPECT_GE(r.repair_ms, 0.0);
+    EXPECT_GT(r.rebuild_ms, 0.0);
+  }
+}
+
+TEST(ServerLoop, EmbedsMetricsSnapshotWhenObsIsOn) {
+  BroadcastServerLoop server(sample_sizes(30, 7), {.channels = 3});
+  const auto freqs = zipf_probabilities(30, 1.0);
+  Rng rng(11);
+  const EpochReport r = server.observe_window(window_from(freqs, 500, rng));
+#if DBS_OBS_ENABLED
+  // The epoch itself ran instrumented CDS/DRP, so the embedded snapshot must
+  // hold at least the serve.* counters with this epoch accounted for.
+  ASSERT_FALSE(r.metrics.empty());
+  bool found_epochs = false;
+  for (const obs::CounterSample& c : r.metrics.counters) {
+    if (c.name == "serve.epochs") {
+      found_epochs = true;
+      EXPECT_GE(c.value, 1u);
+    }
+  }
+  EXPECT_TRUE(found_epochs) << "serve.epochs missing from the epoch snapshot";
+#else
+  EXPECT_TRUE(r.metrics.empty());
+#endif
 }
 
 TEST(ServerLoop, RejectsBadConfig) {

@@ -1,0 +1,66 @@
+// Dedicated coverage for common/stopwatch.h — the clock every wall-time
+// number in the repo (Figures 6/7, perfsuite, EpochReport.repair_ms, the
+// tracer) flows through.
+#include "common/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace dbs {
+namespace {
+
+TEST(Stopwatch, StartsAtRoughlyZero) {
+  const Stopwatch watch;
+  // A fresh stopwatch has essentially no elapsed time; one second of slack
+  // keeps this robust on arbitrarily loaded CI hosts.
+  EXPECT_GE(watch.seconds(), 0.0);
+  EXPECT_LT(watch.seconds(), 1.0);
+}
+
+TEST(Stopwatch, ElapsedTimeIsMonotonic) {
+  const Stopwatch watch;
+  double previous = watch.seconds();
+  for (int i = 0; i < 1000; ++i) {
+    const double now = watch.seconds();
+    ASSERT_GE(now, previous) << "steady-clock elapsed time went backwards";
+    previous = now;
+  }
+}
+
+TEST(Stopwatch, MeasuresARealSleep) {
+  const Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // sleep_for may oversleep but never undersleeps the steady clock.
+  EXPECT_GE(watch.millis(), 20.0);
+}
+
+TEST(Stopwatch, MillisAndSecondsAgree) {
+  const Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double seconds = watch.seconds();
+  const double millis = watch.millis();
+  // millis() is sampled after seconds(), so it can only be (slightly) larger.
+  EXPECT_GE(millis, seconds * 1e3);
+  EXPECT_LT(millis, seconds * 1e3 + 1000.0);
+}
+
+TEST(Stopwatch, ResetRestartsFromNow) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double before_reset = watch.seconds();
+  watch.reset();
+  const double after_reset = watch.seconds();
+  EXPECT_LT(after_reset, before_reset);
+  EXPECT_GE(after_reset, 0.0);
+}
+
+TEST(Stopwatch, ResetDoesNotStopTheClock) {
+  Stopwatch watch;
+  watch.reset();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(watch.millis(), 10.0);
+}
+
+}  // namespace
+}  // namespace dbs

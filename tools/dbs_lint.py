@@ -31,6 +31,13 @@ Enforces project invariants that clang-tidy cannot express:
                      function declarations must additionally contain a
                      `\\brief` tag — src/api is the facade users read first,
                      so an undocumented entry point there is a defect.
+  obs-metric-names   Every literal name handed to the observability layer
+                     (DBS_OBS_* macros, MetricsRegistry counter/gauge/
+                     histogram registration) must match the
+                     snake_case.dotted.namespace contract — at least two
+                     dot-separated components of [a-z][a-z0-9_]*. The
+                     registry DBS_CHECKs this at runtime; the lint catches
+                     it before anything runs.
 
 Exit status: 0 when clean, 1 when any finding is reported, 2 on usage error.
 
@@ -287,6 +294,40 @@ def rule_api_docs(path: Path, stripped: str, lines, findings):
 
 
 # --------------------------------------------------------------------------
+# Rule: obs-metric-names
+# --------------------------------------------------------------------------
+
+METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(?:\.[a-z][a-z0-9_]*)+$")
+
+# Literal-name call sites of the observability layer: the DBS_OBS_* macro
+# family (src/obs/obs.h) and direct registry registration. Matched against
+# the original text (the literal is blanked in the stripped copy) and then
+# position-checked against the stripped text so commented-out call sites
+# don't count.
+OBS_CALLSITE_RE = re.compile(
+    r'(?:\bDBS_OBS_(?:COUNTER_INC|COUNTER_ADD|GAUGE_SET|HISTOGRAM_OBSERVE|'
+    r'SPAN)|\.\s*(?:counter|gauge|histogram))\s*\(\s*"([^"]*)"')
+
+
+def rule_obs_metric_names(path: Path, text: str, stripped: str, lines,
+                          findings):
+    for m in OBS_CALLSITE_RE.finditer(text):
+        if not OBS_CALLSITE_RE.match(stripped, m.start()):
+            continue  # inside a comment or string literal
+        name = m.group(1)
+        if METRIC_NAME_RE.match(name):
+            continue
+        ln = line_of(text, m.start())
+        if suppressed(lines, ln, "obs-metric-names"):
+            continue
+        findings.append(
+            Finding("obs-metric-names", path, ln,
+                    f"metric/span name '{name}' violates the "
+                    "snake_case.dotted.namespace contract "
+                    "(>= 2 dot-separated [a-z][a-z0-9_]* components)"))
+
+
+# --------------------------------------------------------------------------
 # Rule: contract-audit
 # --------------------------------------------------------------------------
 
@@ -366,6 +407,7 @@ def lint_file(path: Path, rel: Path, findings):
 
     rule_include_cc(path, text, findings)
     rule_check_iwyu(path, text, stripped, findings)
+    rule_obs_metric_names(path, text, stripped, lines, findings)
     if top in SRC_DIRS:
         rule_determinism(path, stripped, lines, findings)
         rule_contract_audit(path, text, stripped, lines, findings)

@@ -1,0 +1,19 @@
+// expect: obs-metric-names
+// Every literal handed to the observability layer must follow the
+// snake_case.dotted.namespace contract; each call below violates it
+// differently (single component, uppercase, empty component, trailing dot).
+#include "obs/obs.h"
+#include "obs/metrics.h"
+
+namespace dbs {
+
+void bad_metric_names() {
+  DBS_OBS_COUNTER_INC("flat");
+  DBS_OBS_COUNTER_ADD("Core.cds.runs", 3);
+  DBS_OBS_GAUGE_SET("core..best_k", 4.0);
+  DBS_OBS_HISTOGRAM_OBSERVE("serve.repair_ms.", 0.5);
+  DBS_OBS_SPAN("serve.Epoch");
+  obs::MetricsRegistry::global().counter("kebab-case.runs").inc();
+}
+
+}  // namespace dbs

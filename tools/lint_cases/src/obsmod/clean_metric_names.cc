@@ -1,0 +1,21 @@
+// expect: clean
+// Well-formed observability names: >= 2 dot-separated snake_case components.
+// Commented-out call sites and suppressed violations must not fire either.
+#include "obs/obs.h"
+#include "obs/metrics.h"
+
+namespace dbs {
+
+void clean_metric_names() {
+  DBS_OBS_COUNTER_INC("core.cds.runs");
+  DBS_OBS_COUNTER_ADD("core.cds.moves_evaluated", 12);
+  DBS_OBS_GAUGE_SET("api.planner.best_k", 4.0);
+  DBS_OBS_HISTOGRAM_OBSERVE("serve.repair_ms", 0.5);
+  DBS_OBS_SPAN("serve.epoch.rebuild");
+  obs::MetricsRegistry::global().counter("serve.epochs").inc();
+  // Not a call site, just prose: DBS_OBS_COUNTER_INC("NotAName")
+  // dbs-lint: allow(obs-metric-names) — deliberate violation, suppressed
+  DBS_OBS_GAUGE_SET("Suppressed", 1.0);
+}
+
+}  // namespace dbs

@@ -1,0 +1,313 @@
+// obs_dump — pretty-prints a dbs-metrics-v1 JSON file (the format
+// `perfsuite --metrics-out` and obs::write_json_file emit) as aligned
+// tables: counters, gauges, then histograms with count/sum/mean and the
+// occupied buckets.
+//
+//   obs_dump METRICS.json        pretty-print a metrics dump
+//   obs_dump --selfcheck         round-trip built-in instruments through a
+//                                temp file (registered as a ctest)
+//
+// The parser below handles exactly the subset of JSON our exporter writes
+// (objects, arrays, strings, numbers); it is not a general JSON library and
+// deliberately lives here rather than in src/ — nothing in the library
+// proper ever needs to *read* JSON.
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using dbs::obs::CounterSample;
+using dbs::obs::GaugeSample;
+using dbs::obs::HistogramSample;
+using dbs::obs::MetricsSnapshot;
+
+/// Minimal cursor over the dbs-metrics-v1 subset of JSON.
+class MetricsParser {
+ public:
+  explicit MetricsParser(std::string text) : text_(std::move(text)) {}
+
+  /// Parses the document into `out`; returns false (with a message on
+  /// stderr) on any structural surprise.
+  bool parse(MetricsSnapshot& out) {
+    skip_ws();
+    if (!consume('{')) return fail("expected top-level object");
+    bool saw_schema = false;
+    while (true) {
+      skip_ws();
+      if (consume('}')) break;
+      std::string key;
+      if (!parse_string(key) || !expect_colon()) return false;
+      if (key == "schema") {
+        std::string schema;
+        if (!parse_string(schema)) return false;
+        if (schema != "dbs-metrics-v1") return fail("unknown schema " + schema);
+        saw_schema = true;
+      } else if (key == "counters") {
+        if (!parse_counters(out.counters)) return false;
+      } else if (key == "gauges") {
+        if (!parse_gauges(out.gauges)) return false;
+      } else if (key == "histograms") {
+        if (!parse_histograms(out.histograms)) return false;
+      } else {
+        return fail("unknown key " + key);
+      }
+      skip_ws();
+      consume(',');
+    }
+    if (!saw_schema) return fail("missing \"schema\" key");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& why) {
+    std::fprintf(stderr, "obs_dump: parse error at byte %zu: %s\n", pos_,
+                 why.c_str());
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool expect(char c) {
+    skip_ws();
+    if (!consume(c)) return fail(std::string("expected '") + c + "'");
+    return true;
+  }
+
+  bool expect_colon() { return expect(':'); }
+
+  bool parse_string(std::string& out) {
+    skip_ws();
+    if (!consume('"')) return fail("expected string");
+    out.clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+      out.push_back(text_[pos_++]);
+    }
+    return consume('"') || fail("unterminated string");
+  }
+
+  bool parse_number(double& out) {
+    skip_ws();
+    // The exporter writes histogram overflow bounds as the string "inf".
+    if (pos_ < text_.size() && text_[pos_] == '"') {
+      std::string word;
+      if (!parse_string(word)) return false;
+      if (word != "inf") return fail("unexpected string where number expected");
+      out = std::numeric_limits<double>::infinity();
+      return true;
+    }
+    char* end = nullptr;
+    out = std::strtod(text_.c_str() + pos_, &end);
+    if (end == text_.c_str() + pos_) return fail("expected number");
+    pos_ = static_cast<std::size_t>(end - text_.c_str());
+    return true;
+  }
+
+  /// Parses `[ item, item, ... ]` with `item` supplied by the callback.
+  template <typename ParseItem>
+  bool parse_array(ParseItem&& item) {
+    if (!expect('[')) return false;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      if (!item()) return false;
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return fail("expected ',' or ']'");
+    }
+  }
+
+  /// Parses `{ "key": value, ... }` with `field` handling each key.
+  template <typename ParseField>
+  bool parse_object(ParseField&& field) {
+    if (!expect('{')) return false;
+    while (true) {
+      skip_ws();
+      if (consume('}')) return true;
+      std::string key;
+      if (!parse_string(key) || !expect_colon()) return false;
+      if (!field(key)) return false;
+      skip_ws();
+      consume(',');
+    }
+  }
+
+  bool parse_counters(std::vector<CounterSample>& out) {
+    return parse_array([&] {
+      CounterSample sample;
+      double value = 0.0;
+      const bool ok = parse_object([&](const std::string& key) {
+        if (key == "name") return parse_string(sample.name);
+        if (key == "value") return parse_number(value);
+        return fail("unknown counter key " + key);
+      });
+      sample.value = static_cast<std::uint64_t>(value);
+      out.push_back(std::move(sample));
+      return ok;
+    });
+  }
+
+  bool parse_gauges(std::vector<GaugeSample>& out) {
+    return parse_array([&] {
+      GaugeSample sample;
+      const bool ok = parse_object([&](const std::string& key) {
+        if (key == "name") return parse_string(sample.name);
+        if (key == "value") return parse_number(sample.value);
+        return fail("unknown gauge key " + key);
+      });
+      out.push_back(std::move(sample));
+      return ok;
+    });
+  }
+
+  bool parse_histograms(std::vector<HistogramSample>& out) {
+    return parse_array([&] {
+      HistogramSample sample;
+      double count = 0.0;
+      const bool ok = parse_object([&](const std::string& key) {
+        if (key == "name") return parse_string(sample.name);
+        if (key == "count") return parse_number(count);
+        if (key == "sum") return parse_number(sample.sum);
+        if (key == "buckets") {
+          return parse_array([&] {
+            double le = 0.0, bucket_count = 0.0;
+            const bool bucket_ok = parse_object([&](const std::string& bkey) {
+              if (bkey == "le") return parse_number(le);
+              if (bkey == "count") return parse_number(bucket_count);
+              return fail("unknown bucket key " + bkey);
+            });
+            sample.bounds.push_back(le);
+            sample.counts.push_back(static_cast<std::uint64_t>(bucket_count));
+            return bucket_ok;
+          });
+        }
+        return fail("unknown histogram key " + key);
+      });
+      sample.count = static_cast<std::uint64_t>(count);
+      out.push_back(std::move(sample));
+      return ok;
+    });
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, got);
+  std::fclose(f);
+  return true;
+}
+
+void print_snapshot(const MetricsSnapshot& snapshot) {
+  if (!snapshot.counters.empty()) {
+    dbs::AsciiTable table({"counter", "value"});
+    for (const CounterSample& c : snapshot.counters) {
+      table.add_row(c.name, {static_cast<double>(c.value)}, 0);
+    }
+    std::fputs(table.render().c_str(), stdout);
+  }
+  if (!snapshot.gauges.empty()) {
+    dbs::AsciiTable table({"gauge", "value"});
+    for (const GaugeSample& g : snapshot.gauges) {
+      table.add_row(g.name, {g.value}, 3);
+    }
+    std::fputs(table.render().c_str(), stdout);
+  }
+  if (!snapshot.histograms.empty()) {
+    dbs::AsciiTable table({"histogram", "count", "sum", "mean"});
+    for (const HistogramSample& h : snapshot.histograms) {
+      table.add_row(h.name,
+                    {static_cast<double>(h.count), h.sum,
+                     h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0},
+                    3);
+    }
+    std::fputs(table.render().c_str(), stdout);
+    for (const HistogramSample& h : snapshot.histograms) {
+      std::printf("%s buckets:", h.name.c_str());
+      for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+        std::printf("  le=%g:%llu", h.bounds[i],
+                    static_cast<unsigned long long>(h.counts[i]));
+      }
+      std::printf("\n");
+    }
+  }
+  if (snapshot.empty()) std::puts("(no instruments in this dump)");
+}
+
+/// Round-trips live instruments through the JSON exporter and this parser,
+/// exiting nonzero on any mismatch. Keeps the reader honest about the
+/// writer's format without needing a checked-in fixture file.
+int selfcheck() {
+  dbs::obs::MetricsRegistry& registry = dbs::obs::MetricsRegistry::global();
+  registry.counter("selfcheck.counter").add(42);
+  registry.gauge("selfcheck.gauge").set(2.5);
+  dbs::obs::Histogram& histogram = registry.histogram("selfcheck.histogram");
+  histogram.observe(0.5);
+  histogram.observe(3.0);
+  histogram.observe(1e9);  // overflow bucket
+
+  const std::string json = dbs::obs::to_json(registry.snapshot());
+  MetricsSnapshot parsed;
+  if (!MetricsParser(json).parse(parsed)) return 1;
+  if (parsed.counters.size() != 1 || parsed.counters[0].value != 42 ||
+      parsed.counters[0].name != "selfcheck.counter") {
+    std::fprintf(stderr, "obs_dump selfcheck: counter round-trip mismatch\n");
+    return 1;
+  }
+  if (parsed.gauges.size() != 1 || parsed.gauges[0].value != 2.5) {
+    std::fprintf(stderr, "obs_dump selfcheck: gauge round-trip mismatch\n");
+    return 1;
+  }
+  if (parsed.histograms.size() != 1 || parsed.histograms[0].count != 3 ||
+      parsed.histograms[0].counts.size() != 3) {
+    std::fprintf(stderr, "obs_dump selfcheck: histogram round-trip mismatch\n");
+    return 1;
+  }
+  print_snapshot(parsed);
+  std::puts("obs_dump selfcheck: round-trip ok");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::string(argv[1]) == "--selfcheck") return selfcheck();
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s METRICS.json | --selfcheck\n", argv[0]);
+    return 2;
+  }
+  std::string text;
+  if (!read_file(argv[1], text)) {
+    std::fprintf(stderr, "obs_dump: cannot read %s\n", argv[1]);
+    return 1;
+  }
+  MetricsSnapshot snapshot;
+  if (!MetricsParser(std::move(text)).parse(snapshot)) return 1;
+  print_snapshot(snapshot);
+  return 0;
+}
