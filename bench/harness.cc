@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <thread>
+#include <vector>
 
 #include "common/csv.h"
 
@@ -52,17 +54,6 @@ Measurement measure(const Database& db, Algorithm algorithm, ChannelId channels,
 
 namespace {
 
-// Resolves the worker count: explicit --threads wins, 0 auto-detects, and
-// the pool never exceeds the trial count (idle workers are pure overhead).
-std::size_t worker_count(const Options& options) {
-  std::size_t workers = options.threads;
-  if (workers == 0) {
-    workers = std::thread::hardware_concurrency();
-    if (workers == 0) workers = 1;
-  }
-  return workers < options.trials ? workers : options.trials;
-}
-
 // Runs one seeded trial. Seeds are pre-assigned (base_seed + trial), so the
 // result depends only on the trial index, never on scheduling order.
 Measurement run_trial(const WorkloadConfig& config, Algorithm algorithm,
@@ -75,37 +66,91 @@ Measurement run_trial(const WorkloadConfig& config, Algorithm algorithm,
   return measure(db, algorithm, channels, bandwidth, options.quick, cfg.seed);
 }
 
+// Fixed-size worker pool over an atomic work index, with an annotated
+// first-error slot so a throwing trial surfaces on the caller instead of
+// std::terminate()-ing the worker.
+//
+// Concurrency contract: next_ and cancelled_ are lock-free relaxed atomics
+// (claims are idempotent and ordering-free; per-slot results are published
+// to the caller by the join, not by the atomics); first_error_ is the only
+// cross-thread mutable state and is guarded by mutex_.
+class TrialPool {
+ public:
+  TrialPool(std::size_t trials, const std::function<void(std::size_t)>& body)
+      : trials_(trials), body_(body) {}
+
+  // Worker loop: claim → run → repeat, bailing out as soon as any worker
+  // has failed. Only the first exception is kept; the pool is shutting down
+  // either way, and one actionable error beats an arbitrary pile.
+  void worker() {
+    while (!cancelled_.load(std::memory_order_relaxed)) {
+      const std::size_t trial = next_.fetch_add(1, std::memory_order_relaxed);
+      if (trial >= trials_) return;
+      try {
+        body_(trial);
+      } catch (...) {
+        const MutexLock lock(mutex_);
+        if (first_error_ == nullptr) first_error_ = std::current_exception();
+        cancelled_.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Rethrows the first captured exception, if any. Must only be called
+  // after every worker has been joined (the join is what orders the
+  // workers' writes before this read).
+  void rethrow_if_failed() {
+    const MutexLock lock(mutex_);
+    if (first_error_ != nullptr) std::rethrow_exception(first_error_);
+  }
+
+ private:
+  const std::size_t trials_;
+  const std::function<void(std::size_t)>& body_;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<bool> cancelled_{false};
+  Mutex mutex_;
+  std::exception_ptr first_error_ DBS_GUARDED_BY(mutex_);
+};
+
 }  // namespace
+
+void run_trials(std::size_t trials, std::size_t workers,
+                const std::function<void(std::size_t)>& body) {
+  // 0 auto-detects; the pool never exceeds the trial count (idle workers
+  // are pure overhead).
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  if (workers > trials) workers = trials;
+  if (workers <= 1) {
+    // Serial path: run inline so exceptions propagate directly and the
+    // parallel path has a bit-identical reference to be diffed against.
+    for (std::size_t trial = 0; trial < trials; ++trial) body(trial);
+    return;
+  }
+  TrialPool pool(trials, body);
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&pool] { pool.worker(); });
+  }
+  for (std::thread& thread : threads) thread.join();
+  pool.rethrow_if_failed();
+}
 
 std::vector<Measurement> measure_trials(const WorkloadConfig& config,
                                         Algorithm algorithm, ChannelId channels,
                                         double bandwidth, const Options& options,
                                         std::uint64_t base_seed) {
+  // Each trial writes only its own slot, so no two threads ever touch the
+  // same element and no ordering between trials is assumed.
   std::vector<Measurement> per_trial(options.trials);
-  const std::size_t workers = worker_count(options);
-  if (workers <= 1) {
-    for (std::size_t trial = 0; trial < options.trials; ++trial) {
-      per_trial[trial] = run_trial(config, algorithm, channels, bandwidth,
-                                   options, base_seed, trial);
-    }
-    return per_trial;
-  }
-  // Fixed-size pool over an atomic work index: each worker claims the next
-  // unclaimed trial and writes only its own slot, so no two threads ever
-  // touch the same element and no ordering between trials is assumed.
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      for (std::size_t trial = next.fetch_add(1); trial < options.trials;
-           trial = next.fetch_add(1)) {
-        per_trial[trial] = run_trial(config, algorithm, channels, bandwidth,
-                                     options, base_seed, trial);
-      }
-    });
-  }
-  for (std::thread& worker : pool) worker.join();
+  run_trials(options.trials, options.threads, [&](std::size_t trial) {
+    per_trial[trial] = run_trial(config, algorithm, channels, bandwidth,
+                                 options, base_seed, trial);
+  });
   return per_trial;
 }
 

@@ -1,0 +1,116 @@
+// Compiler-enforced concurrency contracts (DESIGN.md §11).
+//
+// This header is the single place the repo touches a raw mutex. Everything
+// else uses the annotated dbs::Mutex / dbs::MutexLock wrappers plus the
+// DBS_* capability macros below, so that under Clang the thread-safety
+// analysis (-Wthread-safety, promoted to an error by -DDBS_THREAD_SAFETY=ON)
+// proves lock discipline at compile time:
+//
+//   * every field names its protection in the type: DBS_GUARDED_BY(mutex_)
+//     for lock-guarded state, std::atomic<> for lock-free state, nothing for
+//     immutable-after-construction state;
+//   * functions that expect the caller to hold a lock say so with
+//     DBS_REQUIRES(mutex_); functions that must not be called with the lock
+//     held say so with DBS_EXCLUDES(mutex_);
+//   * an unguarded read, a missing-REQUIRES call, a double acquire, or a
+//     scope that leaks a held lock is a compile error, not a TSan roll of
+//     the dice (tests/thread_safety_compile proves each diagnostic fires).
+//
+// On GCC/MSVC the annotation macros expand to nothing and the wrappers are
+// zero-cost shims over std::mutex / std::lock_guard, so non-Clang builds and
+// the perf gate see identical code. tools/dbs_lint.py keeps the contract
+// honest everywhere: rule `raw-sync-primitive` bans std::mutex and friends
+// outside this header, and rule `guarded-by-audit` flags mutable non-atomic
+// fields in sync.h-including TUs that carry no DBS_GUARDED_BY.
+#pragma once
+
+#include <mutex>  // dbs-lint: allow(raw-sync-primitive) — the one wrapped primitive
+
+// Clang exposes the capability attributes behind __has_attribute; every
+// other compiler compiles the annotations away.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define DBS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef DBS_THREAD_ANNOTATION
+#define DBS_THREAD_ANNOTATION(x)
+#endif
+
+/// Declares a type to be a lockable capability; `x` names it in diagnostics
+/// ("mutex", "shard lock", ...).
+#define DBS_CAPABILITY(x) DBS_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor (std::lock_guard shape).
+#define DBS_SCOPED_CAPABILITY DBS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field annotation: reads and writes require holding `x`.
+#define DBS_GUARDED_BY(x) DBS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer-field annotation: the pointed-to data requires holding `x` (the
+/// pointer itself is unguarded).
+#define DBS_PT_GUARDED_BY(x) DBS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function annotation: the caller must hold the listed capabilities.
+#define DBS_REQUIRES(...) \
+  DBS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the listed capabilities (or `this` when
+/// empty) and holds them on return.
+#define DBS_ACQUIRE(...) \
+  DBS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function annotation: releases the listed capabilities (or `this` when
+/// empty); the caller must hold them on entry.
+#define DBS_RELEASE(...) \
+  DBS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function annotation: the caller must NOT hold the listed capabilities
+/// (deadlock guard for self-locking entry points).
+#define DBS_EXCLUDES(...) DBS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// justify itself in a comment — it is the annotated-world equivalent of a
+/// const_cast.
+#define DBS_NO_THREAD_SAFETY_ANALYSIS \
+  DBS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace dbs {
+
+/// Annotated exclusive mutex: a std::mutex declared as a Clang capability,
+/// so functions and fields can name it in DBS_GUARDED_BY / DBS_REQUIRES
+/// contracts. Prefer dbs::MutexLock over manual lock()/unlock() pairs — the
+/// analysis flags a leaked manual lock, but the scoped form cannot leak at
+/// all.
+class DBS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DBS_ACQUIRE() { mutex_.lock(); }
+  void unlock() DBS_RELEASE() { mutex_.unlock(); }
+
+ private:
+  std::mutex mutex_;  // dbs-lint: allow(raw-sync-primitive)
+};
+
+/// Annotated scoped lock (std::lock_guard shape): acquires `mutex` for the
+/// lifetime of the object. SCOPED_CAPABILITY tells the analysis the
+/// destructor releases, so early returns and exceptions are covered.
+class DBS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) DBS_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() DBS_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace dbs

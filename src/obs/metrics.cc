@@ -113,7 +113,7 @@ void check_name(std::string_view name, bool taken_elsewhere) {
 }  // namespace
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = counters_.find(name);
   if (it != counters_.end()) return *it->second;
   check_name(name, gauges_.count(name) != 0 || histograms_.count(name) != 0);
@@ -122,7 +122,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) return *it->second;
   check_name(name, counters_.count(name) != 0 || histograms_.count(name) != 0);
@@ -134,7 +134,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name, std::vector<double> bounds) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return *it->second;
   check_name(name, counters_.count(name) != 0 || gauges_.count(name) != 0);
@@ -144,7 +144,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name, std::vector<double>
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
@@ -164,12 +164,12 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 std::size_t MetricsRegistry::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 
 void MetricsRegistry::reset() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   for (const auto& [name, counter] : counters_) counter->reset();
   for (const auto& [name, gauge] : gauges_) gauge->reset();
   for (const auto& [name, histogram] : histograms_) histogram->reset();

@@ -15,10 +15,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace dbs::obs {
 
@@ -113,8 +114,10 @@ struct MetricsSnapshot {
 /// obs-metric-names rule.
 bool valid_metric_name(std::string_view name);
 
-/// Name → instrument registry. Lookup/registration is mutex-guarded; the
-/// returned references are stable for the life of the process.
+/// Name → instrument registry. Lookup/registration is mutex-guarded (the
+/// compiler-checked capability contract below); the returned references are
+/// stable for the life of the process, and the instruments themselves update
+/// lock-free, so only registration and snapshotting ever contend.
 class MetricsRegistry {
  public:
   /// The process-global registry the DBS_OBS_* macros record into.
@@ -146,10 +149,17 @@ class MetricsRegistry {
   void reset();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // Concurrency contract: the three name→instrument maps are guarded by
+  // mutex_; the instruments the unique_ptrs point at are internally
+  // lock-free (relaxed atomics) and are deliberately *not* lock-guarded —
+  // handed-out references outlive any registry critical section.
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      DBS_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      DBS_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      DBS_GUARDED_BY(mutex_);
 };
 
 /// Renders a snapshot as pretty-printed JSON (schema "dbs-metrics-v1"), the

@@ -41,7 +41,7 @@ Tracer& Tracer::global() {
 void Tracer::record_complete(std::string_view name, double ts_us, double dur_us) {
   if (!enabled()) return;
   const std::uint32_t tid = this_thread_tid();
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   if (events_.size() >= kMaxEvents) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -53,7 +53,7 @@ void Tracer::instant(std::string_view name) {
   if (!enabled()) return;
   const double ts = now_us();
   const std::uint32_t tid = this_thread_tid();
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   if (events_.size() >= kMaxEvents) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -62,12 +62,12 @@ void Tracer::instant(std::string_view name) {
 }
 
 std::vector<TraceEvent> Tracer::events() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return events_;
 }
 
 void Tracer::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   events_.clear();
   dropped_.store(0, std::memory_order_relaxed);
 }

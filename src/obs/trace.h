@@ -13,12 +13,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "common/sync.h"
 
 namespace dbs::obs {
 
@@ -69,11 +69,14 @@ class Tracer {
  private:
   static constexpr std::size_t kMaxEvents = 1u << 20;
 
+  // Concurrency contract: enabled_/dropped_ are lock-free relaxed atomics
+  // (read on every span open, written rarely); watch_ is immutable after
+  // construction; only the event buffer itself is mutex-guarded.
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> dropped_{0};
   Stopwatch watch_;
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
+  mutable Mutex mutex_;
+  std::vector<TraceEvent> events_ DBS_GUARDED_BY(mutex_);
 };
 
 /// RAII span: stamps the start time on construction and records a complete

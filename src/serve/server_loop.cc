@@ -1,5 +1,6 @@
 #include "serve/server_loop.h"
 
+#include <memory>
 #include <utility>
 
 #include "common/check.h"
@@ -9,16 +10,30 @@
 
 namespace dbs {
 
+ProgramSnapshot::ProgramSnapshot(Database database, ChannelId channels,
+                                 std::vector<ChannelId> assignment,
+                                 std::size_t epoch, double bandwidth)
+    : db(std::move(database)),
+      alloc(db, channels, std::move(assignment)),
+      epoch(epoch),
+      waiting_time(program_waiting_time(alloc, bandwidth)) {}
+
 BroadcastServerLoop::BroadcastServerLoop(std::vector<double> item_sizes,
                                          const ServerLoopConfig& config)
     : config_(config), sizes_(std::move(item_sizes)),
-      tracker_(sizes_.size(), config.tracker_gain, config.tracker_alpha),
-      db_(sizes_, tracker_.frequencies()),
-      alloc_(run_drp_cds(db_, config.channels).allocation) {
+      tracker_(sizes_.size(), config.tracker_gain, config.tracker_alpha) {
   DBS_CHECK(config.bandwidth > 0.0);
   DBS_CHECK(config.rebuild_threshold >= 0.0);
   DBS_CHECK_MSG(config.channels <= sizes_.size(),
                 "cannot fill more channels than items");
+  const MutexLock lock(mutex_);
+  Database initial = rebuild_database();
+  DrpCdsResult planned = run_drp_cds(initial, config_.channels);
+  published_.store(std::make_shared<const ProgramSnapshot>(
+                       std::move(initial), config_.channels,
+                       planned.allocation.assignment(), epoch_,
+                       config_.bandwidth),
+                   std::memory_order_release);
 }
 
 Database BroadcastServerLoop::rebuild_database() const {
@@ -27,12 +42,14 @@ Database BroadcastServerLoop::rebuild_database() const {
 
 EpochReport BroadcastServerLoop::observe_window(const std::vector<Request>& window) {
   DBS_OBS_SPAN("serve.epoch");
+  const MutexLock lock(mutex_);
   tracker_.observe(window);
   Database fresh = rebuild_database();
+  const std::shared_ptr<const ProgramSnapshot> current = snapshot();
 
   // Repair: carry the on-air assignment into the new popularity estimate and
   // let CDS fix it up.
-  Allocation repaired(fresh, config_.channels, alloc_.assignment());
+  Allocation repaired(fresh, config_.channels, current->alloc.assignment());
   Stopwatch repair_watch;
   CdsStats repair_stats;
   {
@@ -68,14 +85,17 @@ EpochReport BroadcastServerLoop::observe_window(const std::vector<Request>& wind
   DBS_OBS_HISTOGRAM_OBSERVE("serve.repair_ms", repair_ms);
   DBS_OBS_HISTOGRAM_OBSERVE("serve.rebuild_ms", rebuild_ms);
 
-  // Swap in the chosen allocation; db_ must outlive alloc_, so move the
-  // database first and rebind the allocation against the stored instance.
-  const std::vector<ChannelId> chosen = report.adopted_rebuild
-                                            ? rebuilt.allocation.assignment()
-                                            : repaired.assignment();
-  db_ = std::move(fresh);
-  alloc_ = Allocation(db_, config_.channels, chosen);
-  report.waiting_time = program_waiting_time(alloc_, config_.bandwidth);
+  // Publish the chosen program as a fresh immutable snapshot (RCU swap):
+  // the snapshot owns its own Database copy, so readers holding the old
+  // version keep a consistent db+alloc pair while new readers see this one.
+  std::vector<ChannelId> chosen = report.adopted_rebuild
+                                      ? rebuilt.allocation.assignment()
+                                      : repaired.assignment();
+  auto next = std::make_shared<const ProgramSnapshot>(
+      std::move(fresh), config_.channels, std::move(chosen), epoch_,
+      config_.bandwidth);
+  report.waiting_time = next->waiting_time;
+  published_.store(std::move(next), std::memory_order_release);
   report.metrics = obs::MetricsRegistry::global().snapshot();
   return report;
 }

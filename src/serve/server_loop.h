@@ -11,11 +11,22 @@
 //   4. adopt the rebuild only when it beats the repaired allocation by more
 //      than `rebuild_threshold` (relative) — otherwise keep the repair, so
 //      most epochs cost a handful of CDS moves instead of a full rebuild.
+//
+// Concurrency model (DESIGN.md §11): the estimator state is guarded by a
+// single writer mutex (compiler-checked via the DBS_GUARDED_BY contracts
+// below), while the program on air is published as an immutable, versioned
+// ProgramSnapshot behind an atomic shared_ptr — the RCU-style swap of
+// ROADMAP item 2. Readers load the snapshot lock-free and keep it alive for
+// as long as they hold the shared_ptr; a concurrent observe_window() swap
+// never blocks them and never mutates a snapshot they can see.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <memory>
 #include <vector>
 
+#include "common/sync.h"
 #include "core/drp_cds.h"
 #include "model/allocation.h"
 #include "model/database.h"
@@ -55,35 +66,77 @@ struct EpochReport {
   obs::MetricsSnapshot metrics;
 };
 
+/// Immutable program version: the database the program was planned against,
+/// the allocation on air (bound to that database), the epoch that produced
+/// it and its waiting time. Snapshots are built once, published via an
+/// atomic shared_ptr swap, and never mutated afterwards — any number of
+/// concurrent readers can hold one while the server moves on.
+struct ProgramSnapshot {
+  /// Builds the snapshot and binds `alloc` to the stored `db` copy.
+  ProgramSnapshot(Database database, ChannelId channels,
+                  std::vector<ChannelId> assignment, std::size_t epoch,
+                  double bandwidth);
+
+  // alloc references db by address, so a snapshot must never be copied or
+  // moved — it lives and dies inside its shared_ptr.
+  ProgramSnapshot(const ProgramSnapshot&) = delete;
+  ProgramSnapshot& operator=(const ProgramSnapshot&) = delete;
+
+  const Database db;
+  const Allocation alloc;        ///< bound to this->db
+  const std::size_t epoch;
+  const double waiting_time;     ///< W_b of alloc at the config bandwidth
+};
+
 /// Long-running server: owns the catalogue sizes, the popularity estimate
-/// and the live allocation.
+/// and the published program versions. observe_window() is the single
+/// writer (safe to call from any one thread at a time; the mutex makes
+/// concurrent callers serialize rather than race); snapshot() is a wait-free
+/// reader safe from any thread.
 class BroadcastServerLoop {
  public:
   /// Starts from a uniform popularity estimate over the given item sizes and
-  /// an initial DRP-CDS program.
+  /// an initial DRP-CDS program (published as snapshot version 0).
   BroadcastServerLoop(std::vector<double> item_sizes, const ServerLoopConfig& config);
 
-  /// Feeds one observed request window; returns what the server did.
-  EpochReport observe_window(const std::vector<Request>& window);
+  /// Feeds one observed request window; returns what the server did. Takes
+  /// the writer mutex for the whole epoch and publishes the chosen program
+  /// as a fresh immutable snapshot before returning.
+  EpochReport observe_window(const std::vector<Request>& window)
+      DBS_EXCLUDES(mutex_);
 
-  /// The database under the current popularity estimate.
-  const Database& database() const { return db_; }
+  /// The program currently on air, as an immutable shared snapshot. Safe to
+  /// call from any thread, never blocks the writer; the returned snapshot
+  /// stays valid (and unchanged) for as long as the caller holds it.
+  std::shared_ptr<const ProgramSnapshot> snapshot() const {
+    return published_.load(std::memory_order_acquire);
+  }
 
-  /// The allocation currently on air (valid for database()).
-  const Allocation& allocation() const { return alloc_; }
+  /// The database under the current popularity estimate. Single-threaded
+  /// convenience accessor: the reference is only stable until the next
+  /// observe_window() — concurrent readers must use snapshot() instead.
+  const Database& database() const { return snapshot()->db; }
+
+  /// The allocation currently on air (valid for database()). Same lifetime
+  /// caveat as database(): concurrent readers use snapshot().
+  const Allocation& allocation() const { return snapshot()->alloc; }
 
   const ServerLoopConfig& config() const { return config_; }
-  std::size_t epochs() const { return epoch_; }
+  std::size_t epochs() const { return snapshot()->epoch; }
 
  private:
-  Database rebuild_database() const;
+  Database rebuild_database() const DBS_REQUIRES(mutex_);
 
-  ServerLoopConfig config_;
-  std::vector<double> sizes_;
-  FrequencyTracker tracker_;
-  Database db_;
-  Allocation alloc_;
-  std::size_t epoch_ = 0;
+  // Concurrency contract: config_ and sizes_ are immutable after
+  // construction; the estimator and epoch counter belong to the writer and
+  // are guarded by mutex_; published_ is the lock-free RCU pointer readers
+  // go through (release store on publish, acquire load on read).
+  const ServerLoopConfig config_;
+  const std::vector<double> sizes_;
+  mutable Mutex mutex_;
+  FrequencyTracker tracker_ DBS_GUARDED_BY(mutex_);
+  std::size_t epoch_ DBS_GUARDED_BY(mutex_) = 0;
+  std::atomic<std::shared_ptr<const ProgramSnapshot>> published_;
 };
 
 }  // namespace dbs

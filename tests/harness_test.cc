@@ -7,6 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace dbs::bench {
@@ -86,6 +91,76 @@ TEST(Harness, OversizedPoolAndAutoDetectAreSafe) {
   EXPECT_EQ(serial.cost, automatic.cost);
   EXPECT_EQ(serial.waiting_time, oversized.waiting_time);
   EXPECT_EQ(serial.waiting_time, automatic.waiting_time);
+}
+
+// --- run_trials failure-path contract (ISSUE 6 satellite) -----------------
+// A trial that throws must propagate out of run_trials on the calling
+// thread, after every worker has been joined — never std::terminate() a
+// worker, never deadlock the pool, never leak a joinable thread (the leak
+// would abort the test process at thread destruction).
+
+TEST(RunTrials, ExecutesEveryTrialExactlyOnce) {
+  constexpr std::size_t kTrials = 64;
+  std::vector<std::atomic<int>> executions(kTrials);
+  run_trials(kTrials, 4, [&](std::size_t trial) {
+    executions[trial].fetch_add(1);
+  });
+  for (std::size_t trial = 0; trial < kTrials; ++trial) {
+    EXPECT_EQ(executions[trial].load(), 1) << "trial " << trial;
+  }
+}
+
+TEST(RunTrials, ThrowingTrialPropagatesFromParallelPool) {
+  EXPECT_THROW(
+      run_trials(16, 4,
+                 [](std::size_t trial) {
+                   if (trial == 3) throw std::runtime_error("trial 3 boom");
+                 }),
+      std::runtime_error);
+}
+
+TEST(RunTrials, ThrowingTrialPropagatesFromSerialPath) {
+  std::size_t executed = 0;
+  EXPECT_THROW(run_trials(8, 1,
+                          [&](std::size_t trial) {
+                            ++executed;
+                            if (trial == 2) throw std::logic_error("serial boom");
+                          }),
+               std::logic_error);
+  // Serial execution is in trial order, so the failure cuts the run short.
+  EXPECT_EQ(executed, 3u);
+}
+
+TEST(RunTrials, PoolStopsClaimingNewTrialsAfterFailure) {
+  constexpr std::size_t kTrials = 64;
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(
+      run_trials(kTrials, 2,
+                 [&](std::size_t trial) {
+                   executed.fetch_add(1);
+                   if (trial == 0) throw std::runtime_error("first trial boom");
+                   // Slow survivors down so the cancellation flag is visible
+                   // before the other worker can drain the whole range.
+                   std::this_thread::sleep_for(std::chrono::milliseconds(2));
+                 }),
+      std::runtime_error);
+  // The failing trial plus whatever was in flight — but nowhere near the
+  // full range, and no worker is left running (run_trials joined them all
+  // before rethrowing, or this counter would still be moving).
+  EXPECT_LT(executed.load(), kTrials);
+  const std::size_t settled = executed.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(executed.load(), settled) << "a worker outlived run_trials";
+}
+
+TEST(RunTrials, FirstExceptionWinsWhenSeveralTrialsThrow) {
+  // Every trial throws; exactly one exception must come out and it must be
+  // one of the thrown types (not a terminate, not a mixed/corrupted state).
+  EXPECT_THROW(run_trials(32, 4,
+                          [](std::size_t) {
+                            throw std::runtime_error("every trial throws");
+                          }),
+               std::runtime_error);
 }
 
 }  // namespace

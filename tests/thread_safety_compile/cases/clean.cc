@@ -1,0 +1,49 @@
+// tsa-expect: clean
+//
+// Positive control: disciplined use of every annotation the bad cases
+// violate. If this TU stops compiling, the harness flags (include path,
+// -std, -Wthread-safety) are broken and the failures of the negative cases
+// would be meaningless.
+#include "common/sync.h"
+
+namespace {
+
+class GuardedCounter {
+ public:
+  // Self-locking entry point: scoped acquisition covers the guarded write.
+  void bump() DBS_EXCLUDES(mutex_) {
+    const dbs::MutexLock lock(mutex_);
+    bump_locked();
+  }
+
+  // Caller-locked helper: the REQUIRES contract is satisfied by bump().
+  void bump_locked() DBS_REQUIRES(mutex_) { value_ += 1; }
+
+  int value() const DBS_EXCLUDES(mutex_) {
+    const dbs::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  mutable dbs::Mutex mutex_;
+  int value_ DBS_GUARDED_BY(mutex_) = 0;
+};
+
+// Manual lock()/unlock() is also accepted when balanced.
+dbs::Mutex manual_mutex;
+int manual_value DBS_GUARDED_BY(manual_mutex) = 0;
+
+void balanced_manual_pair() {
+  manual_mutex.lock();
+  manual_value += 1;
+  manual_mutex.unlock();
+}
+
+}  // namespace
+
+int main() {
+  GuardedCounter counter;
+  counter.bump();
+  balanced_manual_pair();
+  return counter.value();
+}

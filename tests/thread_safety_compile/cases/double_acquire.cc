@@ -1,0 +1,24 @@
+// tsa-expect: already held
+//
+// Annotation class: DBS_ACQUIRE on a DBS_CAPABILITY type. Re-acquiring a
+// non-recursive mutex the thread already holds is a self-deadlock; the
+// analysis must reject it ("acquiring mutex 'mu' that is already held").
+#include "common/sync.h"
+
+namespace {
+
+dbs::Mutex mu;
+
+void self_deadlock() {
+  mu.lock();
+  mu.lock();  // BAD: second acquire of a held non-recursive mutex
+  mu.unlock();
+  mu.unlock();
+}
+
+}  // namespace
+
+int main() {
+  self_deadlock();
+  return 0;
+}

@@ -1,0 +1,24 @@
+// tsa-expect: requires holding mutex
+//
+// Annotation class: DBS_REQUIRES. Calling a caller-locked function without
+// holding the advertised capability must be rejected ("calling function
+// 'bump_locked' requires holding mutex 'mu' exclusively").
+#include "common/sync.h"
+
+namespace {
+
+dbs::Mutex mu;
+int counter DBS_GUARDED_BY(mu) = 0;
+
+void bump_locked() DBS_REQUIRES(mu) { counter += 1; }
+
+void bump() {
+  bump_locked();  // BAD: caller never acquired mu
+}
+
+}  // namespace
+
+int main() {
+  bump();
+  return 0;
+}

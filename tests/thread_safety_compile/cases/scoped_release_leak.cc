@@ -1,0 +1,25 @@
+// tsa-expect: still held at the end of function
+//
+// Annotation class: DBS_RELEASE balance. A path that returns while still
+// holding a manually acquired capability leaks the lock — every later
+// contender deadlocks. The analysis must reject it ("mutex 'mu' is still
+// held at the end of function"); dbs::MutexLock exists so this shape is
+// impossible to write by accident.
+#include "common/sync.h"
+
+namespace {
+
+dbs::Mutex mu;
+int value DBS_GUARDED_BY(mu) = 0;
+
+void leak_the_lock() {
+  mu.lock();
+  value += 1;
+}  // BAD: returns with mu held, no unlock on any path
+
+}  // namespace
+
+int main() {
+  leak_the_lock();
+  return 0;
+}

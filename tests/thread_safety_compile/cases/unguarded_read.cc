@@ -1,0 +1,25 @@
+// tsa-expect: requires holding mutex
+//
+// Annotation class: DBS_GUARDED_BY. Reading a guarded field without holding
+// its mutex must be rejected ("reading variable 'value_' requires holding
+// mutex 'mutex_'") — this is exactly the MetricsRegistry map-read bug class
+// the migration to annotated primitives exists to prevent.
+#include "common/sync.h"
+
+namespace {
+
+class GuardedCounter {
+ public:
+  int value() const { return value_; }  // BAD: no lock held
+
+ private:
+  mutable dbs::Mutex mutex_;
+  int value_ DBS_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  const GuardedCounter counter;
+  return counter.value();
+}

@@ -1,0 +1,103 @@
+# Negative-compile harness for the thread-safety capability contracts
+# (ISSUE 6 tentpole; same never-rots philosophy as obs_killswitch_test).
+#
+# Each cases/*.cc fixture declares its fate on its first line:
+#
+#   // tsa-expect: clean              must compile (positive control)
+#   // tsa-expect: <substring>        must FAIL to compile, with a
+#                                     -Wthread-safety* diagnostic whose text
+#                                     contains <substring>
+#
+# The script syntax-checks every fixture with Clang under exactly the flags
+# DBS_THREAD_SAFETY=ON adds (-Wthread-safety -Werror=thread-safety-analysis)
+# and fails if any bad case compiles, fails for the wrong reason (e.g. a
+# broken include path), or fires a diagnostic other than the expected one.
+# This is what proves the analysis itself still fires — without it, a macro
+# typo in common/sync.h that silently no-ops every annotation would leave
+# the CI flavor green while checking nothing.
+#
+# Invoked by ctest as `cmake -D... -P run_cases.cmake` with:
+#   DBS_TSA_COMPILER     a clang++ executable
+#   DBS_TSA_INCLUDE_DIR  the src/ root (for "common/sync.h")
+#   DBS_TSA_CASES_DIR    the cases/ directory
+# The registering CMakeLists marks the test DISABLED when no clang++ exists,
+# so GCC-only hosts skip instead of fail.
+
+if(NOT DBS_TSA_COMPILER)
+  message(FATAL_ERROR "thread_safety_compile: DBS_TSA_COMPILER not set "
+                      "(the registering CMakeLists should have DISABLED this test)")
+endif()
+
+execute_process(COMMAND ${DBS_TSA_COMPILER} --version
+                OUTPUT_VARIABLE _version ERROR_VARIABLE _version_err
+                RESULT_VARIABLE _version_rv)
+if(NOT _version_rv EQUAL 0 OR NOT _version MATCHES "clang")
+  message(FATAL_ERROR "thread_safety_compile: '${DBS_TSA_COMPILER}' is not a "
+                      "working clang++ (got: ${_version}${_version_err})")
+endif()
+
+file(GLOB _cases "${DBS_TSA_CASES_DIR}/*.cc")
+list(SORT _cases)
+list(LENGTH _cases _case_count)
+if(_case_count EQUAL 0)
+  message(FATAL_ERROR "thread_safety_compile: no cases in ${DBS_TSA_CASES_DIR}")
+endif()
+
+set(_failures 0)
+foreach(_case IN LISTS _cases)
+  get_filename_component(_name ${_case} NAME)
+  file(STRINGS ${_case} _header LIMIT_COUNT 1)
+  if(NOT _header MATCHES "tsa-expect: *(.+)$")
+    message(SEND_ERROR "${_name}: first line lacks a '// tsa-expect:' header")
+    math(EXPR _failures "${_failures} + 1")
+    continue()
+  endif()
+  string(STRIP "${CMAKE_MATCH_1}" _expected)
+
+  execute_process(
+    COMMAND ${DBS_TSA_COMPILER} -std=c++20 -fsyntax-only
+            -Wthread-safety -Werror=thread-safety-analysis
+            -I ${DBS_TSA_INCLUDE_DIR} ${_case}
+    RESULT_VARIABLE _rv
+    OUTPUT_VARIABLE _out
+    ERROR_VARIABLE _err)
+  set(_diag "${_out}${_err}")
+
+  if(_expected STREQUAL "clean")
+    if(_rv EQUAL 0)
+      message(STATUS "ok   ${_name}: compiles clean (positive control)")
+    else()
+      message(SEND_ERROR "${_name}: positive control failed to compile — the "
+                         "harness flags are broken, every negative result is "
+                         "suspect:\n${_diag}")
+      math(EXPR _failures "${_failures} + 1")
+    endif()
+    continue()
+  endif()
+
+  if(_rv EQUAL 0)
+    message(SEND_ERROR "${_name}: compiled clean but must be rejected — the "
+                       "thread-safety analysis did not fire (expected "
+                       "diagnostic containing '${_expected}')")
+    math(EXPR _failures "${_failures} + 1")
+    continue()
+  endif()
+  # It failed — but for the right reason? Require both the expected text and
+  # a thread-safety diagnostic group marker, so a missing header or syntax
+  # error cannot masquerade as the analysis firing.
+  string(FIND "${_diag}" "${_expected}" _expected_at)
+  string(FIND "${_diag}" "thread-safety" _group_at)
+  if(_expected_at EQUAL -1 OR _group_at EQUAL -1)
+    message(SEND_ERROR "${_name}: rejected, but not by the expected "
+                       "-Wthread-safety diagnostic '${_expected}':\n${_diag}")
+    math(EXPR _failures "${_failures} + 1")
+  else()
+    message(STATUS "ok   ${_name}: rejected with '${_expected}'")
+  endif()
+endforeach()
+
+if(_failures GREATER 0)
+  message(FATAL_ERROR "thread_safety_compile: ${_failures} of ${_case_count} "
+                      "case(s) misbehaved")
+endif()
+message(STATUS "thread_safety_compile: all ${_case_count} cases behave")

@@ -38,16 +38,35 @@ Enforces project invariants that clang-tidy cannot express:
                      dot-separated components of [a-z][a-z0-9_]*. The
                      registry DBS_CHECKs this at runtime; the lint catches
                      it before anything runs.
+  raw-sync-primitive Raw standard sync primitives (std::mutex and family,
+                     std::lock_guard / std::unique_lock / std::scoped_lock,
+                     std::condition_variable) are banned everywhere except
+                     src/common/sync.h — all locking goes through the
+                     capability-annotated dbs::Mutex / dbs::MutexLock so
+                     Clang's thread-safety analysis (DBS_THREAD_SAFETY=ON)
+                     sees every critical section. Growing the vocabulary
+                     (shared/timed mutexes, condvars) means growing sync.h,
+                     not bypassing it.
+  guarded-by-audit   In any TU that includes common/sync.h, a `mutable`
+                     non-atomic field must either be the Mutex itself or
+                     carry a DBS_GUARDED_BY annotation — `mutable` is
+                     exactly the qualifier that lets const entry points
+                     mutate shared state behind the caller's back, so its
+                     protection must be spelled out in the type. This keeps
+                     the Python linter and the compiler analysis pointed at
+                     the same contract.
 
 Exit status: 0 when clean, 1 when any finding is reported, 2 on usage error.
 
 Run on the repo:      tools/dbs_lint.py --root .
+Machine-readable:     tools/dbs_lint.py --root . --json   (schema dbs-lint-v1)
 Run the golden cases: tools/dbs_lint.py --selftest
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import re
 import sys
 from pathlib import Path
@@ -328,6 +347,71 @@ def rule_obs_metric_names(path: Path, text: str, stripped: str, lines,
 
 
 # --------------------------------------------------------------------------
+# Rule: raw-sync-primitive
+# --------------------------------------------------------------------------
+
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|condition_variable|condition_variable_any)\b")
+
+
+def is_sync_header(rel: Path) -> bool:
+    """True for the one file allowed to touch raw primitives."""
+    return rel.parts[-3:] == ("src", "common", "sync.h") or \
+        rel.parts == ("common", "sync.h")
+
+
+def rule_raw_sync_primitive(path: Path, rel: Path, stripped: str, lines,
+                            findings):
+    if is_sync_header(rel):
+        return
+    for m in RAW_SYNC_RE.finditer(stripped):
+        ln = line_of(stripped, m.start())
+        if suppressed(lines, ln, "raw-sync-primitive"):
+            continue
+        findings.append(
+            Finding("raw-sync-primitive", path, ln,
+                    f"raw std::{m.group(1)} outside src/common/sync.h; use "
+                    "the capability-annotated dbs::Mutex / dbs::MutexLock "
+                    "(or extend sync.h) so the thread-safety analysis sees "
+                    "this critical section"))
+
+
+# --------------------------------------------------------------------------
+# Rule: guarded-by-audit
+# --------------------------------------------------------------------------
+
+SYNC_INCLUDE_RE = re.compile(r'#\s*include\s+"common/sync\.h"')
+MUTABLE_FIELD_RE = re.compile(r"^\s*mutable\b[^;(){}]*;", re.M)
+GUARDED_FIELD_OK_RE = re.compile(
+    r"std::atomic\b|\bMutex\b|DBS_GUARDED_BY|DBS_PT_GUARDED_BY")
+
+
+def rule_guarded_by_audit(path: Path, rel: Path, text: str, stripped: str,
+                          lines, findings):
+    if is_sync_header(rel):
+        return
+    if not SYNC_INCLUDE_RE.search(text):
+        return  # TU has not opted into the annotated-sync world
+    for m in MUTABLE_FIELD_RE.finditer(stripped):
+        decl = m.group(0)
+        if GUARDED_FIELD_OK_RE.search(decl):
+            continue
+        ln = line_of(stripped, m.start())
+        if suppressed(lines, ln, "guarded-by-audit"):
+            continue
+        label = " ".join(decl.split())
+        if len(label) > 48:
+            label = label[:45] + "..."
+        findings.append(
+            Finding("guarded-by-audit", path, ln,
+                    f"mutable non-atomic field '{label}' in a sync.h TU "
+                    "carries no DBS_GUARDED_BY — name its lock, make it "
+                    "std::atomic, or justify a suppression"))
+
+
+# --------------------------------------------------------------------------
 # Rule: contract-audit
 # --------------------------------------------------------------------------
 
@@ -408,6 +492,8 @@ def lint_file(path: Path, rel: Path, findings):
     rule_include_cc(path, text, findings)
     rule_check_iwyu(path, text, stripped, findings)
     rule_obs_metric_names(path, text, stripped, lines, findings)
+    rule_raw_sync_primitive(path, rel, stripped, lines, findings)
+    rule_guarded_by_audit(path, rel, text, stripped, lines, findings)
     if top in SRC_DIRS:
         rule_determinism(path, stripped, lines, findings)
         rule_contract_audit(path, text, stripped, lines, findings)
@@ -468,12 +554,34 @@ def selftest() -> int:
     return 0
 
 
+def findings_to_json(findings, root: Path) -> str:
+    """Renders findings as the stable dbs-lint-v1 document: one object per
+    finding with repo-relative `path`, 1-based `line`, `rule` and `message` —
+    the shape the CI annotation step and any other tooling consumes."""
+    objects = []
+    for f in findings:
+        try:
+            rel = f.path.resolve().relative_to(root.resolve())
+        except ValueError:
+            rel = f.path
+        objects.append({
+            "rule": f.rule,
+            "path": rel.as_posix(),
+            "line": f.line,
+            "message": f.message,
+        })
+    return json.dumps({"schema": "dbs-lint-v1", "findings": objects}, indent=2)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", type=Path, default=None,
                         help="repository root (default: parent of tools/)")
     parser.add_argument("--selftest", action="store_true",
                         help="run the golden lint cases instead of the repo")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as dbs-lint-v1 JSON on stdout "
+                             "(exit status unchanged: 1 iff any finding)")
     args = parser.parse_args(argv)
 
     if args.selftest:
@@ -485,6 +593,9 @@ def main(argv=None) -> int:
               file=sys.stderr)
         return 2
     findings = run(root)
+    if args.json:
+        print(findings_to_json(findings, root))
+        return 1 if findings else 0
     for f in findings:
         print(f)
     if findings:

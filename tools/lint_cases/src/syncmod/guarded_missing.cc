@@ -1,0 +1,20 @@
+// expect: guarded-by-audit
+// A TU that opted into the annotated-sync world (includes common/sync.h)
+// but declares a mutable, non-atomic field with no DBS_GUARDED_BY: the
+// exact shape that lets a const accessor mutate shared state behind the
+// caller's back with nothing checking the lock discipline.
+#include "common/sync.h"
+
+namespace syncmod {
+
+class Memoizer {
+ public:
+  double get(int key) const;
+
+ private:
+  mutable dbs::Mutex mutex_;
+  mutable double last_result_ = 0.0;
+  mutable int last_key_ = -1;
+};
+
+}  // namespace syncmod

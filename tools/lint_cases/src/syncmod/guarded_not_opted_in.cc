@@ -1,0 +1,16 @@
+// expect: clean
+// guarded-by-audit only audits TUs that include common/sync.h: a
+// single-threaded memo cache with no locking vocabulary in scope is out of
+// the rule's jurisdiction (raw-sync-primitive still guards the other door).
+namespace syncmod {
+
+class Memoizer {
+ public:
+  double get(int key) const;
+
+ private:
+  mutable double last_result_ = 0.0;
+  mutable int last_key_ = -1;
+};
+
+}  // namespace syncmod

@@ -1,0 +1,19 @@
+// expect: clean
+// The three legitimate shapes for mutable state in a sync.h TU: the Mutex
+// itself, a lock-free std::atomic, and a guarded field that names its lock.
+#include "common/sync.h"
+
+namespace syncmod {
+
+class Memoizer {
+ public:
+  double get(int key) const;
+
+ private:
+  mutable dbs::Mutex mutex_;
+  mutable std::atomic<int> hits_;
+  mutable double last_result_ DBS_GUARDED_BY(mutex_);
+  mutable int last_key_ DBS_GUARDED_BY(mutex_);
+};
+
+}  // namespace syncmod

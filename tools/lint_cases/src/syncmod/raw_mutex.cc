@@ -1,0 +1,21 @@
+// expect: raw-sync-primitive
+// A raw std::mutex field plus a std::lock_guard critical section outside
+// src/common/sync.h: both must be flagged — the thread-safety analysis can
+// only check locks that go through the annotated dbs::Mutex wrappers.
+#include <mutex>
+
+namespace syncmod {
+
+class Cache {
+ public:
+  void put(int value) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    value_ = value;
+  }
+
+ private:
+  std::mutex mutex_;
+  int value_ = 0;
+};
+
+}  // namespace syncmod

@@ -1,0 +1,12 @@
+// expect: clean
+// The standard suppression escape hatch applies to raw-sync-primitive like
+// any other rule — an FFI boundary handing a std::mutex to a C callback,
+// say — but each site must carry the marker.
+namespace syncmod {
+
+struct LegacyBridge {
+  // dbs-lint: allow(raw-sync-primitive) — handed to a C API by address
+  std::mutex raw_handle;
+};
+
+}  // namespace syncmod

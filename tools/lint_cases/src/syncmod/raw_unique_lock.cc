@@ -1,0 +1,23 @@
+// expect: raw-sync-primitive
+// std::unique_lock and std::condition_variable are part of the banned raw
+// vocabulary too: waiting needs first-class support in common/sync.h, not a
+// side door around the capability annotations.
+#include <condition_variable>
+#include <mutex>
+
+namespace syncmod {
+
+class Queue {
+ public:
+  void wait_nonempty() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return size_ > 0; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  int size_ = 0;
+};
+
+}  // namespace syncmod
