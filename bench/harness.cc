@@ -37,7 +37,8 @@ Options Options::parse(int argc, char** argv) {
 }
 
 Measurement measure(const Database& db, Algorithm algorithm, ChannelId channels,
-                    double bandwidth, bool quick, std::uint64_t seed) {
+                    double bandwidth, bool quick, std::uint64_t seed,
+                    std::size_t cds_max_iterations) {
   ScheduleRequest request;
   request.algorithm = algorithm;
   request.channels = channels;
@@ -47,6 +48,9 @@ Measurement measure(const Database& db, Algorithm algorithm, ChannelId channels,
     request.gopt.population = 60;
     request.gopt.generations = 150;
     request.gopt.stall_generations = 50;
+  }
+  if (cds_max_iterations != 0) {
+    request.drp_cds.cds.max_iterations = cds_max_iterations;
   }
   const ScheduleResult result = schedule(db, request);
   return Measurement{result.waiting_time, result.cost, result.elapsed_ms};
@@ -63,7 +67,8 @@ Measurement run_trial(const WorkloadConfig& config, Algorithm algorithm,
   WorkloadConfig cfg = config;
   cfg.seed = base_seed + trial;
   const Database db = generate_database(cfg);
-  return measure(db, algorithm, channels, bandwidth, options.quick, cfg.seed);
+  return measure(db, algorithm, channels, bandwidth, options.quick, cfg.seed,
+                 options.cds_max_iterations);
 }
 
 // Fixed-size worker pool over an atomic work index, with an annotated

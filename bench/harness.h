@@ -26,6 +26,13 @@ struct Options {
   std::string csv_path;     ///< empty = no CSV dump
   bool quick = false;       ///< --quick: 2 trials, reduced GOPT budget
 
+  /// CDS iteration cap for kDrpCds trials; 0 (the default) runs to
+  /// convergence as the paper does. The perfsuite's million-item scale rows
+  /// set this: CDS-to-convergence takes Θ(N) iterations, so an unbounded run
+  /// at N=10^6 would measure the workload size, not the per-iteration cost
+  /// the rows are pinned to track.
+  std::size_t cds_max_iterations = 0;
+
   /// \brief Parses `--trials N`, `--threads N`, `--csv PATH`, `--quick`.
   ///
   /// `argc`/`argv` are the untouched `main` arguments; flag values must
@@ -58,8 +65,10 @@ struct Measurement {
 /// seeds the stochastic algorithms (GOPT's GA), so equal seeds give
 /// bit-identical cost and waiting time. When `quick` is set, GOPT receives
 /// a scaled-down budget (population 60, 150 generations) for smoke runs.
+/// `cds_max_iterations` follows the Options convention (0 = unbounded).
 Measurement measure(const Database& db, Algorithm algorithm, ChannelId channels,
-                    double bandwidth, bool quick, std::uint64_t seed);
+                    double bandwidth, bool quick, std::uint64_t seed,
+                    std::size_t cds_max_iterations = 0);
 
 /// \brief Averages `measure` over `options.trials` seeded workloads drawn
 /// from `config` (trial t uses seed `base_seed + t` for both the workload

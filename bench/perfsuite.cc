@@ -62,7 +62,8 @@ struct SuiteConfig {
   double diversity;
   double bandwidth;
   std::uint64_t base_seed;
-  bool heavy;             // skipped in --gate mode
+  bool heavy;                          // skipped in --gate mode
+  std::size_t cds_max_iterations = 0;  // 0 = run CDS to convergence
 };
 
 // The pinned matrix. Midpoint rows use the paper's Table-5 midpoints
@@ -70,6 +71,13 @@ struct SuiteConfig {
 // benches; scale rows stress the hot paths at N=2000, K=10. Changing any
 // row invalidates comparisons against older BENCH files — add new rows
 // instead of editing existing ones.
+//
+// The scale1e5/scale1e6 rows track the columnar + candidate-index hot path
+// (docs/ARCHITECTURE.md §3/§5). Their drp-cds runs cap CDS at 64 iterations:
+// CDS-to-convergence applies Θ(N) moves, so an unbounded row would time the
+// move count, not the per-iteration machinery these rows exist to pin.
+// Both land above kAutoIndexedThreshold, so kAuto gives them the indexed
+// engine while every older row keeps the scan engine (and its exact costs).
 constexpr double kSkew = 0.8, kPhi = 2.0, kBandwidth = 10.0;
 const SuiteConfig kMatrix[] = {
     {"midpoint/drp", Algorithm::kDrp, 120, 6, kSkew, kPhi, kBandwidth, 1000, false},
@@ -83,6 +91,14 @@ const SuiteConfig kMatrix[] = {
     {"scale2000/vfk", Algorithm::kVfk, 2000, 10, kSkew, kPhi, kBandwidth, 7000, false},
     {"scale2000/gopt", Algorithm::kGopt, 2000, 10, kSkew, kPhi, kBandwidth, 7000,
      true},
+    {"scale1e5/drp", Algorithm::kDrp, 100000, 64, kSkew, kPhi, kBandwidth, 9000,
+     true},
+    {"scale1e5/drp-cds", Algorithm::kDrpCds, 100000, 64, kSkew, kPhi, kBandwidth,
+     9000, true, 64},
+    {"scale1e6/drp", Algorithm::kDrp, 1000000, 512, kSkew, kPhi, kBandwidth, 9100,
+     true},
+    {"scale1e6/drp-cds", Algorithm::kDrpCds, 1000000, 512, kSkew, kPhi, kBandwidth,
+     9100, true, 64},
 };
 
 // Reads the first "model name" line of /proc/cpuinfo; "unknown" elsewhere.
@@ -233,6 +249,7 @@ int main(int argc, char** argv) {
     Row row{&config, {}, {}, {}, {}};
     Options one_trial = options;
     one_trial.trials = 1;
+    one_trial.cds_max_iterations = config.cds_max_iterations;
     for (std::size_t trial = 0; trial < options.trials; ++trial) {
       const double calib_before = calibration_spin_ms();
       const std::vector<Measurement> batch = dbs::bench::measure_trials(
@@ -282,10 +299,12 @@ int main(int argc, char** argv) {
                  std::string(dbs::algorithm_name(config.algorithm)).c_str());
     std::fprintf(f, "      \"items\": %zu, \"channels\": %u, "
                  "\"skewness\": %.17g, \"diversity\": %.17g, "
-                 "\"bandwidth\": %.17g, \"base_seed\": %llu,\n",
+                 "\"bandwidth\": %.17g, \"base_seed\": %llu, "
+                 "\"cds_max_iterations\": %zu,\n",
                  config.items, static_cast<unsigned>(config.channels),
                  config.skewness, config.diversity, config.bandwidth,
-                 static_cast<unsigned long long>(config.base_seed));
+                 static_cast<unsigned long long>(config.base_seed),
+                 config.cds_max_iterations);
     json_metric(f, "wall_ms", rows[i].wall);
     std::fputs(",\n", f);
     json_metric(f, "calib_ms", rows[i].calib);

@@ -10,7 +10,7 @@ Allocation greedy_insertion(const Database& db, ChannelId channels) {
   std::vector<double> size(channels, 0.0);
   std::vector<ChannelId> assignment(db.size(), 0);
 
-  for (ItemId id : db.ids_by_benefit_ratio_desc()) {
+  for (ItemId id : db.benefit_order()) {
     const Item& it = db.item(id);
     ChannelId best = 0;
     double best_delta = 0.0;

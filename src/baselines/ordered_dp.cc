@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <numeric>
+#include <optional>
 
 #include "common/check.h"
 #include "core/partition.h"
@@ -18,7 +19,8 @@ Allocation ordered_dp_optimal(const Database& db, ChannelId channels,
   std::vector<ItemId> order;
   switch (ordering) {
     case ItemOrdering::kBenefitRatioDesc:
-      order = db.ids_by_benefit_ratio_desc();
+      // GOPT's canonical ordering: reuse the Database's cached sort.
+      order = db.benefit_order();
       break;
     case ItemOrdering::kFreqDesc:
       order = db.ids_by_freq_desc();
@@ -34,7 +36,10 @@ Allocation ordered_dp_optimal(const Database& db, ChannelId channels,
     }
   }
 
-  const PrefixSums sums(db, order);
+  std::optional<PrefixSums> local_sums;
+  if (ordering != ItemOrdering::kBenefitRatioDesc) local_sums.emplace(db, order);
+  const PrefixSums& sums =
+      local_sums.has_value() ? *local_sums : db.benefit_prefix();
   constexpr double kInf = std::numeric_limits<double>::infinity();
   std::vector<std::vector<double>> dp(channels + 1, std::vector<double>(n + 1, kInf));
   std::vector<std::vector<std::size_t>> cut(channels + 1,

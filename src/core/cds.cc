@@ -1,6 +1,10 @@
 #include "core/cds.h"
 
+#include <cstdlib>
+#include <string_view>
+
 #include "common/check.h"
+#include "core/candidate_index.h"
 #include "obs/obs.h"
 
 namespace dbs {
@@ -54,105 +58,31 @@ CdsMove first_improving_move(const Allocation& alloc, double min_gain,
   return CdsMove{};
 }
 
-/// Best-improvement loop with a per-item best-move cache. After a move
-/// p→q, only three kinds of cache entries can be stale: items living on p or
-/// q (all their gains changed), items whose cached best target was p or q
-/// (that target's aggregates changed), and every item's gain *toward* p and
-/// q (folded in by a 3-way max against the untouched cached entry). The
-/// tie-breaking (smallest target channel, then smallest item id) matches the
-/// full scan exactly, so both engines produce identical move sequences.
-class IndexedCds {
- public:
-  explicit IndexedCds(Allocation& alloc) : alloc_(alloc), cache_(alloc.items()) {
-    for (ItemId x = 0; x < alloc_.items(); ++x) recompute(x);
-  }
-
-  CdsMove best() const {
-    CdsMove move;
-    bool have = false;
-    for (ItemId x = 0; x < alloc_.items(); ++x) {
-      if (!have || cache_[x].gain > move.gain) {
-        have = true;
-        move = CdsMove{x, alloc_.channel_of(x), cache_[x].to, cache_[x].gain};
-      }
-    }
-    return move;
-  }
-
-  void apply(const CdsMove& move) {
-    alloc_.move(move.item, move.to);
-    repair(move.from, move.to);
-  }
-
-  std::size_t moves_evaluated() const { return moves_evaluated_; }
-  std::size_t repairs() const { return repairs_; }
-
- private:
-  struct Entry {
-    double gain = 0.0;
-    ChannelId to = 0;
-  };
-
-  void recompute(ItemId x) {
-    const ChannelId p = alloc_.channel_of(x);
-    Entry entry;
-    bool have = false;
-    for (ChannelId q = 0; q < alloc_.channels(); ++q) {
-      if (q == p) continue;
-      const double gain = alloc_.move_gain(x, q);
-      if (!have || gain > entry.gain) {
-        have = true;
-        entry = Entry{gain, q};
-      }
-    }
-    moves_evaluated_ += alloc_.channels() - 1;
-    cache_[x] = entry;
-  }
-
-  void repair(ChannelId p, ChannelId q) {
-    for (ItemId y = 0; y < alloc_.items(); ++y) {
-      const ChannelId home = alloc_.channel_of(y);
-      if (home == p || home == q || cache_[y].to == p || cache_[y].to == q) {
-        recompute(y);
-        ++repairs_;
-        continue;
-      }
-      // Cached target untouched; only gains toward p and q moved. Keep the
-      // scan's tie-break: prefer the smaller channel id on equal gain.
-      for (ChannelId c : {std::min(p, q), std::max(p, q)}) {
-        const double gain = alloc_.move_gain(y, c);
-        ++moves_evaluated_;
-        if (gain > cache_[y].gain ||
-            (gain == cache_[y].gain && c < cache_[y].to)) {
-          cache_[y] = Entry{gain, c};
-        }
-      }
-    }
-  }
-
-  Allocation& alloc_;
-  std::vector<Entry> cache_;
-  std::size_t moves_evaluated_ = 0;
-  std::size_t repairs_ = 0;
-};
-
+/// Best-improvement loop driven by the candidate index. Each iteration is
+/// one fused O(N) pass (fold the previous move's two touched channels into
+/// every pair, then select the best move) plus O(K) brute repairs for pairs
+/// whose certification lapsed. When the iteration budget is exhausted the
+/// convergence probe is one more index pass, not a full N·(K−1) scan — at
+/// N = 10^6, K = 512 the full scan alone would dwarf the budgeted run.
 CdsStats run_cds_indexed(Allocation& alloc, const CdsOptions& options) {
   CdsStats stats;
   stats.initial_cost = alloc.cost();
+  bool probe_converged = true;
   if (alloc.channels() > 1) {
-    IndexedCds engine(alloc);
+    CandidateIndex index(alloc);
     while (stats.iterations < options.max_iterations) {
-      const CdsMove move = engine.best();
-      if (move.gain <= options.min_gain) break;
-      engine.apply(move);
+      const CdsMove move = index.best_move();
+      if (move.gain <= options.min_gain) break;  // local optimum (line 18 of CDS)
+      index.apply(move);
       ++stats.iterations;
     }
-    stats.moves_evaluated = engine.moves_evaluated();
-    stats.index_repairs = engine.repairs();
+    if (stats.iterations >= options.max_iterations) {
+      probe_converged = index.best_move().gain <= options.min_gain;
+    }
+    stats.moves_evaluated = index.moves_evaluated();
+    stats.index_repairs = index.repairs();
   }
-  const bool hit_cap = stats.iterations >= options.max_iterations;
-  if (hit_cap) stats.moves_evaluated += full_scan_evaluations(alloc);
-  stats.converged = !hit_cap || best_move(alloc).gain <= options.min_gain;
+  stats.converged = stats.iterations < options.max_iterations || probe_converged;
   stats.final_cost = alloc.cost();
   return stats;
 }
@@ -183,11 +113,37 @@ CdsStats run_cds_scan(Allocation& alloc, const CdsOptions& options) {
   return stats;
 }
 
+/// The engine actually used: DBS_CDS_ENGINE overrides the caller (so CI can
+/// force-disable the index repo-wide), then kAuto resolves by problem size.
+CdsEngine resolve_engine(const Allocation& alloc, CdsEngine requested) {
+  CdsEngine engine = requested;
+  if (const char* env = std::getenv("DBS_CDS_ENGINE"); env != nullptr && *env != '\0') {
+    const std::string_view v(env);
+    if (v == "scan") {
+      engine = CdsEngine::kScan;
+    } else if (v == "indexed") {
+      engine = CdsEngine::kIndexed;
+    } else {
+      DBS_CHECK_MSG(v == "auto",
+                    "DBS_CDS_ENGINE must be scan, indexed or auto; got " << env);
+      engine = CdsEngine::kAuto;
+    }
+  }
+  if (engine == CdsEngine::kAuto) {
+    engine = alloc.items() * static_cast<std::size_t>(alloc.channels()) >=
+                     kAutoIndexedThreshold
+                 ? CdsEngine::kIndexed
+                 : CdsEngine::kScan;
+  }
+  return engine;
+}
+
 }  // namespace
 
 CdsStats run_cds(Allocation& alloc, const CdsOptions& options) {
   DBS_OBS_SPAN("core.cds.run");
-  const CdsStats stats = options.engine == CdsEngine::kIndexed &&
+  const CdsEngine engine = resolve_engine(alloc, options.engine);
+  const CdsStats stats = engine == CdsEngine::kIndexed &&
                                  options.policy == CdsPolicy::kBestImprovement
                              ? run_cds_indexed(alloc, options)
                              : run_cds_scan(alloc, options);

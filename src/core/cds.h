@@ -24,21 +24,40 @@ enum class CdsPolicy {
   kFirstImprovement,
 };
 
-/// Move-search engine. kScan re-evaluates all N·(K−1) moves every iteration
-/// (the paper's O(K²N) loop, with our O(1) Δc making it O(NK)); kIndexed
-/// caches each item's best move and, after a move p→q, repairs only the
-/// entries that can have changed (items on p or q, items whose best target
-/// was p or q, and everyone's gain toward p and q). Both engines apply the
-/// identical best move each iteration, so results are bit-for-bit equal.
+/// Move-search engine.
+///
+/// kScan re-evaluates all N·(K−1) moves every iteration (the paper's O(K²N)
+/// loop, with our O(1) Δc making it O(NK)). kIndexed maintains a per-item
+/// candidate index (core/candidate_index.h): Eq. 4 factors into a
+/// home-potential minus a target-load term, so each item's best target is
+/// the channel of minimal load; the index caches each item's two
+/// smallest-load channels and repairs them incrementally, making an
+/// iteration O(N + repairs·K) instead of O(N·K). kAuto (the default) picks
+/// kScan below the `kAutoIndexedThreshold` problem size and kIndexed above
+/// it, so small runs keep the scan's bit-exact legacy behavior while the
+/// 10^6-item hot path gets the index.
+///
+/// Both engines evaluate candidate gains with the same Eq. 4 arithmetic and
+/// tie-break order, so on the test workloads they produce identical move
+/// sequences; the index's target selection can differ from the scan only on
+/// floating-point near-ties of the load functional (ARCHITECTURE.md §5).
+///
+/// The environment variable DBS_CDS_ENGINE (values: scan | indexed | auto)
+/// overrides whatever the caller requested — it exists so CI can smoke the
+/// whole suite with the index disabled (the `index-off` job).
 enum class CdsEngine {
   kScan,
   kIndexed,
+  kAuto,
 };
+
+/// N·K at and above which kAuto selects the indexed engine.
+inline constexpr std::size_t kAutoIndexedThreshold = std::size_t{1} << 22;
 
 /// CDS tuning knobs; defaults reproduce the paper.
 struct CdsOptions {
   CdsPolicy policy = CdsPolicy::kBestImprovement;
-  CdsEngine engine = CdsEngine::kScan;
+  CdsEngine engine = CdsEngine::kAuto;
 
   /// Safety bound on iterations (each iteration applies one move). The cost
   /// strictly decreases every iteration, so termination is guaranteed anyway;
@@ -77,12 +96,13 @@ struct CdsMove {
   double gain = 0.0;
 };
 
-/// Scans all moves and returns the best one (gain may be ≤ 0 if the
+/// \brief Scans all moves and returns the best one (gain may be ≤ 0 if the
 /// allocation is already locally optimal). Deterministic: ties resolve to the
 /// smallest (item, to) pair. O(N·K) with incremental aggregates.
 CdsMove best_move(const Allocation& alloc);
 
-/// Refines `alloc` in place until a local optimum (or the iteration bound)
+/// \brief Refines `alloc` in place until a local optimum (or the iteration
+/// bound)
 /// is reached. Returns per-run statistics.
 CdsStats run_cds(Allocation& alloc, const CdsOptions& options = {});
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 #include <queue>
 
 #include "common/check.h"
@@ -55,8 +56,16 @@ DrpResult run_drp(const Database& db, ChannelId channels, const DrpOptions& opti
   DBS_CHECK_MSG(channels <= n,
                 "cannot fill " << channels << " channels with only " << n << " items");
 
+  // The benefit-ratio ordering — DRP proper — reuses the sort and prefix
+  // sums the Database cached at construction; only the ablation orderings
+  // pay for a fresh sort and prefix build.
   std::vector<ItemId> order = ordered_ids(db, options.ordering);
-  const PrefixSums sums(db, order);
+  std::optional<PrefixSums> local_sums;
+  if (options.ordering != ItemOrdering::kBenefitRatioDesc) {
+    local_sums.emplace(db, order);
+  }
+  const PrefixSums& sums =
+      local_sums.has_value() ? *local_sums : db.benefit_prefix();
 
   struct QueueEntry {
     double key;

@@ -52,7 +52,7 @@ struct DrpResult {
   std::size_t splits = 0;        ///< number of split operations (= K − 1)
 };
 
-/// Runs DRP, producing K groups. Requires 1 ≤ K ≤ N. Complexity
+/// \brief Runs DRP, producing K groups. Requires 1 ≤ K ≤ N. Complexity
 /// O(N log N) for the sort plus O(K·(log K + N)) for the splits (Lemma 1).
 DrpResult run_drp(const Database& db, ChannelId channels,
                   const DrpOptions& options = {});

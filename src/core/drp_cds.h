@@ -24,7 +24,7 @@ struct DrpCdsResult {
   CdsStats cds;            ///< zero-iteration stats when run_cds is false
 };
 
-/// Runs DRP followed by CDS. Requires 1 ≤ K ≤ N.
+/// \brief Runs DRP followed by CDS. Requires 1 ≤ K ≤ N.
 DrpCdsResult run_drp_cds(const Database& db, ChannelId channels,
                          const DrpCdsOptions& options = {});
 

@@ -1,48 +1,31 @@
 // Procedure Partition (paper §3.1): given a group of items ordered by
 // benefit ratio, find the contiguous split point p that minimizes
 // cost(left) + cost(right). With prefix sums the scan is O(n).
+//
+// PrefixSums itself now lives in model/prefix_sums.h (promoted in PR 7 so
+// the Database can cache one over its benefit order); this header re-exports
+// it for the split machinery and for existing includers.
 #pragma once
 
 #include <cstddef>
-#include <span>
-#include <vector>
 
 #include "model/database.h"
+#include "model/prefix_sums.h"
 
 namespace dbs {
 
-/// Prefix aggregates over an ordered item sequence. prefix_freq[i] and
-/// prefix_size[i] are the sums over the first i items, so the aggregates of
-/// the slice [a, b) are prefix[b] − prefix[a]. Shared by DRP's groups so each
-/// split scan needs no per-group recomputation.
-struct PrefixSums {
-  std::vector<double> freq;  // size n+1, freq[0] = 0
-  std::vector<double> size;  // size n+1, size[0] = 0
-
-  /// Builds prefix sums over `order`, a permutation (or subset) of item ids.
-  PrefixSums(const Database& db, std::span<const ItemId> order);
-
-  /// Aggregate frequency of slice [a, b).
-  double freq_of(std::size_t a, std::size_t b) const { return freq[b] - freq[a]; }
-  /// Aggregate size of slice [a, b).
-  double size_of(std::size_t a, std::size_t b) const { return size[b] - size[a]; }
-  /// Group cost F·Z of slice [a, b) (Definition 1).
-  double cost_of(std::size_t a, std::size_t b) const {
-    return freq_of(a, b) * size_of(a, b);
-  }
-};
-
-/// Result of splitting the slice [begin, end): the left part is
+/// \brief Result of splitting the slice [begin, end): the left part is
 /// [begin, split), the right part is [split, end).
 struct SplitResult {
   std::size_t split = 0;
   double left_cost = 0.0;
   double right_cost = 0.0;
 
+  /// \brief Combined cost of the two parts.
   double total() const { return left_cost + right_cost; }
 };
 
-/// Finds the split index p ∈ (begin, end) minimizing
+/// \brief Finds the split index p ∈ (begin, end) minimizing
 /// cost([begin,p)) + cost([p,end)). Requires end − begin ≥ 2.
 /// Ties resolve to the smallest p, making the procedure deterministic.
 SplitResult best_split(const PrefixSums& sums, std::size_t begin, std::size_t end);

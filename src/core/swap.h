@@ -25,11 +25,13 @@ struct SwapMove {
   double gain = 0.0;  ///< positive = the swap reduces total cost
 };
 
-/// Cost reduction of swapping items `a` and `b` between their channels.
+/// \brief Cost reduction of swapping items `a` and `b` between their
+/// channels.
 /// Zero when they share a channel. O(1) via the channel aggregates.
 double swap_gain(const Allocation& alloc, ItemId a, ItemId b);
 
-/// Scans all item pairs on distinct channels and returns the best swap
+/// \brief Scans all item pairs on distinct channels and returns the best
+/// swap
 /// (gain ≤ 0 when none improves). O(N²).
 SwapMove best_swap(const Allocation& alloc);
 
@@ -42,6 +44,8 @@ struct DeepSearchStats {
   double initial_cost = 0.0;
   double final_cost = 0.0;
 };
+/// \brief Runs the interleaved CDS + swap loop described above until
+/// neither neighborhood improves, mutating `alloc` in place.
 DeepSearchStats run_cds_with_swaps(Allocation& alloc, const CdsOptions& options = {});
 
 }  // namespace dbs

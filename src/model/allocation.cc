@@ -1,6 +1,7 @@
 #include "model/allocation.h"
 
 #include <cmath>
+#include <span>
 #include <sstream>
 
 #include "common/check.h"
@@ -21,13 +22,14 @@ Allocation::Allocation(const Database& db, ChannelId channels,
   freq_.assign(channels_, 0.0);
   size_.assign(channels_, 0.0);
   count_.assign(channels_, 0);
+  const std::span<const double> f = db.freqs();
+  const std::span<const double> z = db.sizes();
   for (ItemId id = 0; id < assignment_.size(); ++id) {
     const ChannelId c = assignment_[id];
     DBS_CHECK_MSG(c < channels_, "item " << id << " assigned to channel " << c
                                          << " but only " << channels_ << " exist");
-    const Item& it = db.item(id);
-    freq_[c] += it.freq;
-    size_[c] += it.size;
+    freq_[c] += f[id];
+    size_[c] += z[id];
     ++count_[c];
   }
 }
@@ -57,12 +59,13 @@ void Allocation::move(ItemId id, ChannelId to) {
   DBS_CHECK(to < channels_);
   const ChannelId from = assignment_[id];
   if (from == to) return;
-  const Item& it = db_->item(id);
-  freq_[from] -= it.freq;
-  size_[from] -= it.size;
+  const double f = db_->freqs()[id];
+  const double z = db_->sizes()[id];
+  freq_[from] -= f;
+  size_[from] -= z;
   --count_[from];
-  freq_[to] += it.freq;
-  size_[to] += it.size;
+  freq_[to] += f;
+  size_[to] += z;
   ++count_[to];
   assignment_[id] = to;
 }
@@ -81,10 +84,11 @@ double Allocation::cost() const {
 double Allocation::cost_recomputed() const {
   std::vector<double> f(channels_, 0.0);
   std::vector<double> z(channels_, 0.0);
+  const std::span<const double> item_freq = db_->freqs();
+  const std::span<const double> item_size = db_->sizes();
   for (ItemId id = 0; id < assignment_.size(); ++id) {
-    const Item& it = db_->item(id);
-    f[assignment_[id]] += it.freq;
-    z[assignment_[id]] += it.size;
+    f[assignment_[id]] += item_freq[id];
+    z[assignment_[id]] += item_size[id];
   }
   double total = 0.0;
   for (ChannelId c = 0; c < channels_; ++c) total += f[c] * z[c];
@@ -96,11 +100,12 @@ double Allocation::move_gain(ItemId id, ChannelId to) const {
   DBS_CHECK(to < channels_);
   const ChannelId from = assignment_[id];
   if (from == to) return 0.0;
-  const Item& it = db_->item(id);
+  const double f = db_->freqs()[id];
+  const double z = db_->sizes()[id];
   // Eq. (4): Δc = f_x(Z_p − Z_q) + z_x(F_p − F_q) − 2 f_x z_x,
   // with p = from, q = to, measured *before* the move.
-  return it.freq * (size_[from] - size_[to]) + it.size * (freq_[from] - freq_[to]) -
-         2.0 * it.freq * it.size;
+  return f * (size_[from] - size_[to]) + z * (freq_[from] - freq_[to]) -
+         2.0 * f * z;
 }
 
 std::vector<ItemId> Allocation::items_in(ChannelId c) const {
@@ -129,9 +134,8 @@ bool Allocation::validate(std::string* error) const {
       os << "item " << id << " assigned to out-of-range channel " << c;
       return fail(os.str());
     }
-    const Item& it = db_->item(id);
-    f[c] += it.freq;
-    z[c] += it.size;
+    f[c] += db_->freqs()[id];
+    z[c] += db_->sizes()[id];
     ++n[c];
   }
   constexpr double kTol = 1e-9;

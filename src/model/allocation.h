@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -17,54 +18,73 @@ namespace dbs {
 ///   Z_i = Σ_{j ∈ D_i} z_j   (aggregate size,      Definition 4)
 /// so the paper's cost Σ F_i·Z_i and the Δc of a move (Eq. 4) are O(1).
 ///
+/// Like the Database, the aggregates are stored columnar: channel_freqs()
+/// and channel_sizes() expose F and Z as contiguous spans so CDS's move
+/// search streams over them (docs/ARCHITECTURE.md §3).
+///
 /// The referenced Database must outlive the Allocation.
 class Allocation {
  public:
-  /// Creates an allocation with every item assigned to channel 0.
+  /// \brief Creates an allocation with every item assigned to channel 0.
   Allocation(const Database& db, ChannelId channels);
 
-  /// Creates an allocation from an explicit assignment vector
+  /// \brief Creates an allocation from an explicit assignment vector
   /// (assignment[id] = channel). Checks bounds.
   Allocation(const Database& db, ChannelId channels,
              std::vector<ChannelId> assignment);
 
+  /// \brief The catalogue this allocation partitions.
   const Database& database() const { return *db_; }
+  /// \brief Number of channels K.
   ChannelId channels() const { return channels_; }
+  /// \brief Number of items N.
   std::size_t items() const { return assignment_.size(); }
 
+  /// \brief Channel currently holding item `id` (bounds-checked).
   ChannelId channel_of(ItemId id) const;
+  /// \brief The assignment column, indexed by ItemId.
   const std::vector<ChannelId>& assignment() const { return assignment_; }
 
-  /// Aggregate frequency F_i of channel i.
+  /// \brief Aggregate frequency F_i of channel i.
   double freq_of(ChannelId c) const;
-  /// Aggregate size Z_i of channel i.
+  /// \brief Aggregate size Z_i of channel i.
   double size_of(ChannelId c) const;
-  /// Number of items allocated to channel i (the paper's N_i).
+  /// \brief Number of items allocated to channel i (the paper's N_i).
   std::size_t count_of(ChannelId c) const;
 
-  /// Moves item `id` to channel `to`, updating aggregates in O(1).
+  /// \brief The aggregate-frequency column F, indexed by ChannelId.
+  std::span<const double> channel_freqs() const { return freq_; }
+  /// \brief The aggregate-size column Z, indexed by ChannelId.
+  std::span<const double> channel_sizes() const { return size_; }
+  /// \brief The item-count column N_i, indexed by ChannelId.
+  std::span<const std::size_t> channel_counts() const { return count_; }
+
+  /// \brief Moves item `id` to channel `to`, updating aggregates in O(1).
   /// Moving an item to its current channel is a no-op.
   void move(ItemId id, ChannelId to);
 
-  /// Per-channel cost F_i · Z_i (Definition 1 applied to the group).
+  /// \brief Per-channel cost F_i · Z_i (Definition 1 applied to the group).
   double channel_cost(ChannelId c) const;
 
-  /// Total cost Σ_i F_i·Z_i (Eq. 3) — the quantity every algorithm minimizes.
+  /// \brief Total cost Σ_i F_i·Z_i (Eq. 3) — the quantity every algorithm
+  /// minimizes.
   double cost() const;
 
-  /// Recomputes cost from scratch, ignoring the incremental aggregates.
-  /// Used by tests to confirm the incremental bookkeeping is exact.
+  /// \brief Recomputes cost from scratch, ignoring the incremental
+  /// aggregates. Used by tests to confirm the incremental bookkeeping is
+  /// exact.
   double cost_recomputed() const;
 
-  /// The Δc of moving item `id` to channel `to` (Eq. 4), without performing
-  /// the move. Positive Δc means the move reduces total cost.
+  /// \brief The Δc of moving item `id` to channel `to` (Eq. 4), without
+  /// performing the move. Positive Δc means the move reduces total cost.
   double move_gain(ItemId id, ChannelId to) const;
 
-  /// Item ids currently assigned to channel c, in ascending id order. O(N).
+  /// \brief Item ids currently assigned to channel c, in ascending id
+  /// order. O(N).
   std::vector<ItemId> items_in(ChannelId c) const;
 
-  /// True iff every item is assigned to exactly one in-range channel and the
-  /// cached aggregates match a from-scratch recomputation.
+  /// \brief True iff every item is assigned to exactly one in-range channel
+  /// and the cached aggregates match a from-scratch recomputation.
   bool validate(std::string* error = nullptr) const;
 
  private:

@@ -26,10 +26,10 @@ struct StoredAllocation {
   double bandwidth = 0.0;
 };
 
-/// Writes the allocation (and its planning bandwidth) to `out`.
+/// \brief Writes the allocation (and its planning bandwidth) to `out`.
 void store_allocation(std::ostream& out, const Allocation& alloc, double bandwidth);
 
-/// Parses an allocation against `db`. Throws std::runtime_error with a line
+/// \brief Parses an allocation against `db`. Throws std::runtime_error with a line
 /// number on malformed input, unknown items, out-of-range channels, missing
 /// or duplicate assignments, or an item-count mismatch with `db`.
 StoredAllocation load_allocation(std::istream& in, const Database& db);

@@ -7,29 +7,30 @@
 
 namespace dbs {
 
-/// Cost of a group with aggregate frequency F and aggregate size Z:
+/// \brief Cost of a group with aggregate frequency F and aggregate size Z:
 /// cost = F · Z (Definition 1, expressed on aggregates).
 inline double group_cost(double aggregate_freq, double aggregate_size) {
   return aggregate_freq * aggregate_size;
 }
 
-/// Waiting time of item `id` on its assigned channel (Eq. 1):
+/// \brief Waiting time of item `id` on its assigned channel (Eq. 1):
 ///   W_j = Z_i / (2b) + z_j / b
 /// i.e. expected probe time (half the broadcast cycle) plus download time.
 double item_waiting_time(const Allocation& alloc, ItemId id, double bandwidth);
 
-/// Frequency-weighted average waiting time of channel c (the paper's W^(i)).
+/// \brief Frequency-weighted average waiting time of channel c (the paper's
+/// W^(i)).
 /// Returns 0 for an empty channel (no requests ever target it).
 double channel_waiting_time(const Allocation& alloc, ChannelId c, double bandwidth);
 
-/// Average waiting time of the whole broadcast program (Eq. 2):
+/// \brief Average waiting time of the whole broadcast program (Eq. 2):
 ///   W_b = (1/2b) Σ_i F_i·Z_i + (1/b) Σ_j f_j·z_j
 double program_waiting_time(const Allocation& alloc, double bandwidth);
 
-/// The schedule-independent part of W_b: (1/b) Σ_j f_j z_j.
+/// \brief The schedule-independent part of W_b: (1/b) Σ_j f_j z_j.
 double download_component(const Database& db, double bandwidth);
 
-/// The schedule-dependent part of W_b: (1/2b) Σ_i F_i Z_i = cost/(2b).
+/// \brief The schedule-dependent part of W_b: (1/2b) Σ_i F_i Z_i = cost/(2b).
 double probe_component(const Allocation& alloc, double bandwidth);
 
 }  // namespace dbs

@@ -1,10 +1,18 @@
 // The broadcast database D: the full catalogue of items to disseminate.
+//
+// Columnar core (PR 7): the catalogue is stored as structure-of-arrays —
+// contiguous `f`, `z` and benefit-ratio columns — so the schedulers' inner
+// loops stream over cache-line-dense memory instead of gathering fields out
+// of an array of structs. The row view (`Item`) is materialized on demand
+// for IO and tests; see docs/ARCHITECTURE.md §3 for the layout contract.
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "model/item.h"
+#include "model/prefix_sums.h"
 
 namespace dbs {
 
@@ -18,39 +26,73 @@ namespace dbs {
 /// Frequencies are normalized so that Σ f_j = 1, matching the paper's model.
 /// Item ids are the positions in the original input order, so an Allocation's
 /// assignment vector can be indexed by ItemId.
+///
+/// Storage is columnar: freqs(), sizes() and benefit_ratios() expose the
+/// three item columns as contiguous spans, and the benefit-ratio descending
+/// order (DRP's input order) is computed once at construction together with
+/// its PrefixSums — every scheduler run shares those instead of re-sorting.
 class Database {
  public:
-  /// Builds a database from (size, freq) pairs; ids are assigned 0..N-1 in
-  /// input order and frequencies are normalized.
+  /// \brief Builds a database from (size, freq) pairs; ids are assigned
+  /// 0..N-1 in input order and frequencies are normalized.
   explicit Database(std::vector<Item> items);
 
-  /// Convenience constructor from parallel arrays.
+  /// \brief Convenience constructor from parallel arrays.
   Database(const std::vector<double>& sizes, const std::vector<double>& freqs);
 
-  std::size_t size() const { return items_.size(); }
-  const Item& item(ItemId id) const;
-  const std::vector<Item>& items() const { return items_; }
+  /// \brief Number of items N.
+  std::size_t size() const { return freq_.size(); }
 
-  /// Σ z_j over the whole database.
+  /// \brief Materializes the row view of item `id` (bounds-checked).
+  Item item(ItemId id) const;
+
+  /// \brief Materializes the full row view, in id order. Intended for IO
+  /// and tests; hot paths should stream the columns instead.
+  std::vector<Item> items() const;
+
+  /// \brief The access-frequency column f, indexed by ItemId (normalized).
+  std::span<const double> freqs() const { return freq_; }
+
+  /// \brief The item-size column z, indexed by ItemId.
+  std::span<const double> sizes() const { return size_; }
+
+  /// \brief The benefit-ratio column f/z, indexed by ItemId (paper §3.1).
+  std::span<const double> benefit_ratios() const { return br_; }
+
+  /// \brief Σ z_j over the whole database.
   double total_size() const { return total_size_; }
 
-  /// Σ f_j · z_j — the schedule-independent download term of Eq. (2).
+  /// \brief Σ f_j · z_j — the schedule-independent download term of Eq. (2).
   double weighted_size() const { return weighted_size_; }
 
-  /// Item ids sorted by benefit ratio f/z, descending. Ties are broken by
-  /// id so the order is deterministic. This is DRP's input order.
-  std::vector<ItemId> ids_by_benefit_ratio_desc() const;
+  /// \brief Item ids sorted by benefit ratio f/z descending, ties broken by
+  /// id — DRP's input order. Computed once at construction; every call
+  /// returns the same cached vector.
+  const std::vector<ItemId>& benefit_order() const { return benefit_order_; }
 
-  /// Item ids sorted by access frequency, descending (the conventional
-  /// environment's order, used by VF^K). Deterministic tie-break by id.
+  /// \brief PrefixSums over benefit_order(), shared by DRP, OrderedDp and
+  /// the CDS candidate index (built once at construction).
+  const PrefixSums& benefit_prefix() const { return benefit_prefix_; }
+
+  /// \brief Copy of benefit_order() (the pre-columnar spelling; prefer
+  /// benefit_order() to avoid the copy).
+  std::vector<ItemId> ids_by_benefit_ratio_desc() const { return benefit_order_; }
+
+  /// \brief Item ids sorted by access frequency, descending (the
+  /// conventional environment's order, used by VF^K). Deterministic
+  /// tie-break by id.
   std::vector<ItemId> ids_by_freq_desc() const;
 
  private:
   void validate_and_normalize();
 
-  std::vector<Item> items_;
+  std::vector<double> freq_;  // f_j, normalized to Σ f = 1
+  std::vector<double> size_;  // z_j
+  std::vector<double> br_;    // f_j / z_j, derived after normalization
   double total_size_ = 0.0;
   double weighted_size_ = 0.0;
+  std::vector<ItemId> benefit_order_;
+  PrefixSums benefit_prefix_;
 };
 
 }  // namespace dbs

@@ -24,7 +24,8 @@ struct Item {
   double benefit_ratio() const { return freq / size; }
 };
 
-/// Items compare equal iff all fields match exactly (useful in tests).
+/// \brief Items compare equal iff all fields match exactly (useful in
+/// tests).
 inline bool operator==(const Item& a, const Item& b) {
   return a.id == b.id && a.size == b.size && a.freq == b.freq;
 }

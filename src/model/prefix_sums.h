@@ -1,0 +1,71 @@
+// Prefix aggregates over an ordered item sequence — the shared state that
+// lets every contiguous-slice cost query run in O(1) over columnar data.
+//
+// Promoted out of core/partition.h (PR 7): a PrefixSums is now first-class
+// model state. The Database caches one instance over its benefit-ratio
+// order, so DRP, OrderedDp and the CDS candidate index all share a single
+// build instead of re-deriving per-run (see docs/ARCHITECTURE.md §4).
+//
+// Invariants (checked by tests/partition_test.cc and the incremental-update
+// unit test):
+//   * freq.size() == size.size() == n + 1 for an order of n items;
+//   * freq[0] == size[0] == 0;
+//   * freq[i+1] == freq[i] + f(order[i]) evaluated left to right, so the
+//     stored values are bit-reproducible for a fixed order — every slice
+//     aggregate F = freq[b] − freq[a] is therefore deterministic too;
+//   * identically for size.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "model/item.h"
+
+namespace dbs {
+
+class Database;
+
+/// \brief Prefix aggregates over an ordered item sequence.
+///
+/// prefix_freq[i] and prefix_size[i] are the sums over the first i items, so
+/// the aggregates of the slice [a, b) are prefix[b] − prefix[a]. Shared by
+/// DRP's groups (each split scan needs no per-group recomputation) and by
+/// the Database's cached benefit order.
+struct PrefixSums {
+  std::vector<double> freq;  ///< size n+1, freq[0] = 0
+  std::vector<double> size;  ///< size n+1, size[0] = 0
+
+  /// \brief Empty sums covering no items (freq == size == {0}).
+  PrefixSums() : freq(1, 0.0), size(1, 0.0) {}
+
+  /// \brief Builds prefix sums over `order`, a permutation (or subset) of
+  /// item ids of `db`.
+  PrefixSums(const Database& db, std::span<const ItemId> order);
+
+  /// \brief Aggregate frequency of slice [a, b).
+  double freq_of(std::size_t a, std::size_t b) const { return freq[b] - freq[a]; }
+  /// \brief Aggregate size of slice [a, b).
+  double size_of(std::size_t a, std::size_t b) const { return size[b] - size[a]; }
+  /// \brief Group cost F·Z of slice [a, b) (Definition 1).
+  double cost_of(std::size_t a, std::size_t b) const {
+    return freq_of(a, b) * size_of(a, b);
+  }
+
+  /// \brief Number of items covered (one less than the prefix length).
+  std::size_t items() const { return freq.empty() ? 0 : freq.size() - 1; }
+
+  /// \brief Incrementally re-derives the suffix starting at order position
+  /// `first_changed` after `order[first_changed..)` was edited in place.
+  ///
+  /// Positions before `first_changed` are untouched, so the repaired sums
+  /// are bit-identical to a full rebuild over the new order — the planner
+  /// and the online-repair loop (ROADMAP items 2–3) reorder only a tail
+  /// segment and pay O(n − first_changed) instead of O(n). `order` must be
+  /// the *current* (post-edit) order and may also be longer or shorter than
+  /// the previously covered sequence; storage grows or shrinks to match.
+  void update_suffix(const Database& db, std::span<const ItemId> order,
+                     std::size_t first_changed);
+};
+
+}  // namespace dbs

@@ -1,0 +1,130 @@
+#include "core/candidate_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/cds.h"
+#include "core/drp.h"
+#include "workload/generator.h"
+
+namespace dbs {
+namespace {
+
+// The index's one correctness obligation: at every step its best_move() must
+// equal the scan engine's exhaustive best_move() — same item, same target,
+// bit-identical gain (both compute Eq. 4 with the same expression).
+void expect_matches_scan(Allocation& alloc, CandidateIndex& index,
+                         const char* context) {
+  const CdsMove scan = best_move(alloc);
+  const CdsMove indexed = index.best_move();
+  ASSERT_EQ(scan.item, indexed.item) << context;
+  ASSERT_EQ(scan.from, indexed.from) << context;
+  ASSERT_EQ(scan.to, indexed.to) << context;
+  ASSERT_DOUBLE_EQ(scan.gain, indexed.gain) << context;
+}
+
+TEST(CandidateIndex, AgreesWithScanOnFreshAllocations) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Database db = generate_database({.items = 40 + seed * 10,
+                                           .skewness = 0.5 + 0.05 * seed,
+                                           .diversity = 2.0, .seed = seed});
+    Allocation alloc = run_drp(db, static_cast<ChannelId>(2 + seed)).allocation;
+    CandidateIndex index(alloc);
+    expect_matches_scan(alloc, index, "fresh DRP allocation");
+  }
+}
+
+TEST(CandidateIndex, AgreesWithScanAlongAGreedyTrajectory) {
+  const Database db = generate_database({.items = 90, .skewness = 0.7,
+                                         .diversity = 2.5, .seed = 21});
+  Allocation alloc(db, 6);  // everything on channel 0: long improvement run
+  CandidateIndex index(alloc);
+  for (int step = 0; step < 400; ++step) {
+    const CdsMove move = index.best_move();
+    expect_matches_scan(alloc, index, "greedy trajectory");
+    if (move.gain <= 1e-12) break;
+    index.apply(move);
+  }
+  EXPECT_LE(best_move(alloc).gain, 1e-12) << "trajectory must end at the optimum";
+}
+
+TEST(CandidateIndex, AgreesWithScanUnderArbitraryMoves) {
+  // apply() accepts any legal move, not just the one best_move() returned.
+  // A random walk exercises the fold/repair machinery under dynamics a
+  // greedy descent never produces (cost-increasing moves, revisits).
+  const Database db = generate_database({.items = 60, .diversity = 3.0, .seed = 22});
+  const ChannelId k = 5;
+  Allocation alloc(db, k, [&] {
+    Rng rng(7);
+    std::vector<ChannelId> start(db.size());
+    for (auto& c : start) c = static_cast<ChannelId>(rng.below(k));
+    return start;
+  }());
+  CandidateIndex index(alloc);
+  Rng rng(99);
+  for (int step = 0; step < 200; ++step) {
+    expect_matches_scan(alloc, index, "random walk");
+    const ItemId item = static_cast<ItemId>(rng.below(db.size()));
+    ChannelId to = static_cast<ChannelId>(rng.below(k));
+    if (to == alloc.assignment()[item]) to = static_cast<ChannelId>((to + 1) % k);
+    index.apply(CdsMove{item, alloc.assignment()[item], to, 0.0});
+  }
+}
+
+TEST(CandidateIndex, AgedIndexAgreesWithFreshlyBuiltIndex) {
+  // After many incremental folds, the cached columns must equal what a
+  // from-scratch construction computes — the repair path may not drift.
+  const Database db = generate_database({.items = 70, .diversity = 2.0, .seed = 23});
+  Allocation alloc(db, 6);
+  CandidateIndex aged(alloc);
+  for (int step = 0; step < 50; ++step) {
+    const CdsMove move = aged.best_move();
+    if (move.gain <= 1e-12) break;
+    aged.apply(move);
+  }
+  const CdsMove from_aged = aged.best_move();
+  CandidateIndex fresh(alloc);
+  const CdsMove from_fresh = fresh.best_move();
+  EXPECT_EQ(from_aged.item, from_fresh.item);
+  EXPECT_EQ(from_aged.to, from_fresh.to);
+  EXPECT_DOUBLE_EQ(from_aged.gain, from_fresh.gain);
+}
+
+TEST(CandidateIndex, CountsWorkAndRepairs) {
+  const Database db = generate_database({.items = 50, .diversity = 2.0, .seed = 24});
+  Allocation alloc(db, 4);
+  CandidateIndex index(alloc);
+  const std::size_t evals_at_build = index.moves_evaluated();
+  EXPECT_GT(evals_at_build, 0u) << "construction materializes candidate gains";
+  EXPECT_EQ(index.repairs(), 0u) << "nothing to repair before the first move";
+  const CdsMove move = index.best_move();
+  ASSERT_GT(move.gain, 0.0);
+  index.apply(move);
+  index.best_move();  // folds the pending move
+  EXPECT_GT(index.repairs(), 0u) << "a move must disturb at least its own pair";
+  EXPECT_GT(index.moves_evaluated(), evals_at_build);
+}
+
+TEST(CandidateIndex, RequiresTwoChannels) {
+  const Database db = generate_database({.items = 10, .seed = 25});
+  Allocation alloc(db, 1);
+  EXPECT_THROW(CandidateIndex index(alloc), ContractViolation);
+}
+
+TEST(CandidateIndex, RejectsBackToBackApplies) {
+  const Database db = generate_database({.items = 20, .seed = 26});
+  Allocation alloc(db, 3);
+  CandidateIndex index(alloc);
+  const CdsMove move = index.best_move();
+  ASSERT_GT(move.gain, 0.0);
+  index.apply(move);
+  // The fold in best_move() must run before the next apply.
+  EXPECT_THROW(index.apply(move), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dbs

@@ -2,11 +2,35 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+
+#include "common/check.h"
 #include "core/drp.h"
 #include "workload/generator.h"
 
 namespace dbs {
 namespace {
+
+// Sets DBS_CDS_ENGINE for one test body and restores the previous state on
+// scope exit, so a failing assertion can't leak the override into later tests.
+class ScopedEngineEnv {
+ public:
+  explicit ScopedEngineEnv(const char* value) {
+    if (const char* prev = std::getenv("DBS_CDS_ENGINE")) saved_ = prev;
+    ::setenv("DBS_CDS_ENGINE", value, /*overwrite=*/1);
+  }
+  ~ScopedEngineEnv() {
+    if (saved_.empty()) {
+      ::unsetenv("DBS_CDS_ENGINE");
+    } else {
+      ::setenv("DBS_CDS_ENGINE", saved_.c_str(), /*overwrite=*/1);
+    }
+  }
+
+ private:
+  std::string saved_;
+};
 
 TEST(BestMove, FindsKnownImprovement) {
   // Channel 0 = {popular small d0, huge cold d2}, channel 1 = {popular small
@@ -155,12 +179,21 @@ TEST(CdsStatsWork, ScanCountsOneFullScanPerIterationPlusConvergenceCheck) {
 
 TEST(CdsStatsWork, IndexedDoesStrictlyLessWorkThanScan) {
   // Same move sequence, far fewer Δc evaluations — the whole point of the
-  // indexed engine, now directly visible in the stats.
+  // indexed engine, now directly visible in the stats. Each run pins its
+  // engine through the env override so the comparison survives the CI
+  // index-off job (which exports DBS_CDS_ENGINE=scan suite-wide).
   const Database db = generate_database({.items = 80, .diversity = 2.0, .seed = 42});
   Allocation scan(db, 5);
   Allocation indexed = scan;
-  const CdsStats s_scan = run_cds(scan, {.engine = CdsEngine::kScan});
-  const CdsStats s_indexed = run_cds(indexed, {.engine = CdsEngine::kIndexed});
+  CdsStats s_scan, s_indexed;
+  {
+    const ScopedEngineEnv env("scan");
+    s_scan = run_cds(scan, {.engine = CdsEngine::kScan});
+  }
+  {
+    const ScopedEngineEnv env("indexed");
+    s_indexed = run_cds(indexed, {.engine = CdsEngine::kIndexed});
+  }
   ASSERT_GT(s_scan.iterations, 0u);
   EXPECT_GT(s_indexed.moves_evaluated, 0u);
   EXPECT_LT(s_indexed.moves_evaluated, s_scan.moves_evaluated);
@@ -216,6 +249,50 @@ TEST(CdsIndexed, RespectsIterationBudget) {
   capped.engine = CdsEngine::kIndexed;
   capped.max_iterations = 2;
   EXPECT_LE(run_cds(alloc, capped).iterations, 2u);
+}
+
+TEST(CdsEngineEnv, ScanOverrideDisablesTheIndex) {
+  // The CI index-off job relies on this: DBS_CDS_ENGINE=scan must win even
+  // when the caller explicitly asked for the indexed engine. The scan
+  // engine's work signature — one full N·(K−1) sweep per iteration plus the
+  // convergence check, zero cache repairs — is the observable proof.
+  const ScopedEngineEnv env("scan");
+  const Database db = generate_database({.items = 60, .diversity = 2.0, .seed = 51});
+  Allocation alloc(db, 4);
+  const CdsStats stats = run_cds(alloc, {.engine = CdsEngine::kIndexed});
+  ASSERT_GT(stats.iterations, 0u);
+  EXPECT_EQ(stats.moves_evaluated, (stats.iterations + 1) * 60 * (4 - 1));
+  EXPECT_EQ(stats.index_repairs, 0u);
+}
+
+TEST(CdsEngineEnv, IndexedOverrideForcesTheIndexOnSmallRuns) {
+  // Inverse direction: a problem far below kAutoIndexedThreshold, caller
+  // asks for scan, env forces the index — visible as nonzero repairs.
+  const ScopedEngineEnv env("indexed");
+  const Database db = generate_database({.items = 60, .diversity = 2.0, .seed = 51});
+  Allocation alloc(db, 4);
+  const CdsStats stats = run_cds(alloc, {.engine = CdsEngine::kScan});
+  ASSERT_GT(stats.iterations, 0u);
+  EXPECT_GT(stats.index_repairs, 0u);
+}
+
+TEST(CdsEngineEnv, OverrideDoesNotChangeTheResult) {
+  const Database db = generate_database({.items = 70, .diversity = 2.5, .seed = 52});
+  Allocation forced(db, 5);
+  Allocation plain = forced;
+  {
+    const ScopedEngineEnv env("indexed");
+    run_cds(forced, {.engine = CdsEngine::kScan});
+  }
+  run_cds(plain, {.engine = CdsEngine::kScan});
+  EXPECT_EQ(forced.assignment(), plain.assignment());
+}
+
+TEST(CdsEngineEnv, RejectsUnknownValues) {
+  const ScopedEngineEnv env("turbo");
+  const Database db = generate_database({.items = 10, .seed = 53});
+  Allocation alloc(db, 2);
+  EXPECT_THROW(run_cds(alloc), ContractViolation);
 }
 
 TEST(Cds, AllocationStaysValidThroughout) {

@@ -26,11 +26,13 @@ Enforces project invariants that clang-tidy cannot express:
   detail-isolation   tests/ and bench/ must not name `detail::` symbols;
                      the detail namespaces are internal and not part of the
                      tested surface.
-  api-docs           Every namespace-scope declaration in a src/api/ header
-                     must carry a `///` doc comment on the line above, and
-                     function declarations must additionally contain a
-                     `\\brief` tag — src/api is the facade users read first,
-                     so an undocumented entry point there is a defect.
+  api-docs           Every namespace-scope declaration in a src/api/,
+                     src/model/ or src/core/ header must carry a `///` doc
+                     comment on the line above, and function declarations
+                     must additionally contain a `\\brief` tag — src/api is
+                     the facade users read first, and model/core are the
+                     layers docs/ARCHITECTURE.md narrates, so an
+                     undocumented entry point in any of them is a defect.
   obs-metric-names   Every literal name handed to the observability layer
                      (DBS_OBS_* macros, MetricsRegistry counter/gauge/
                      histogram registration) must match the
@@ -231,9 +233,15 @@ def rule_detail_isolation(path: Path, stripped: str, lines, findings):
 # Rule: api-docs
 # --------------------------------------------------------------------------
 
+# Header directories whose public declarations must be documented: the user
+# facade plus the two layers docs/ARCHITECTURE.md walks through.
+API_DOC_DIRS = (("src", "api"), ("src", "model"), ("src", "core"))
+
 PREPROCESSOR_RE = re.compile(r"^\s*#.*$", re.M)
 TYPE_DECL_RE = re.compile(r"^(?:template\s*<[^;{}]*>\s*)?(?:class|struct|enum)\b")
 SKIP_DECL_RE = re.compile(r"^(?:using\b|typedef\b|extern\b|static_assert\b|friend\b)")
+# A bodiless `class X;` introduces no API surface — don't demand docs on it.
+FORWARD_DECL_RE = re.compile(r"^(?:class|struct|enum(?:\s+(?:class|struct))?)\s+[A-Za-z_]\w*$")
 BRIEF_RE = re.compile(r"[\\@]brief\b")
 
 
@@ -276,7 +284,7 @@ def namespace_scope_declarations(stripped: str):
             i = body_end + 1
             continue
         # Terminated by `;`: plain declaration.
-        if decl and not SKIP_DECL_RE.match(decl):
+        if decl and not SKIP_DECL_RE.match(decl) and not FORWARD_DECL_RE.match(decl):
             is_type = bool(TYPE_DECL_RE.match(decl))
             yield start, decl, not is_type and "(" in decl
         i += 1
@@ -497,7 +505,7 @@ def lint_file(path: Path, rel: Path, findings):
     if top in SRC_DIRS:
         rule_determinism(path, stripped, lines, findings)
         rule_contract_audit(path, text, stripped, lines, findings)
-        if rel.parts[:2] == ("src", "api") and path.suffix == ".h":
+        if rel.parts[:2] in API_DOC_DIRS and path.suffix == ".h":
             rule_api_docs(path, stripped, lines, findings)
     if top in TEST_DIRS:
         rule_detail_isolation(path, stripped, lines, findings)

@@ -1,0 +1,12 @@
+// expect: api-docs
+// Golden case: src/core headers are in api-docs scope too, and a function
+// doc comment without a \brief tag is still a finding there.
+#pragma once
+
+namespace dbs {
+
+/// Looks documented, but the block never spells \ brief (the space keeps
+/// this sentence itself from satisfying the scanner).
+int refine(int allocation);
+
+}  // namespace dbs

@@ -1,0 +1,22 @@
+// expect: clean
+// Golden case: api-docs now covers src/model headers (PR 7). A documented
+// model header is clean, and a bodiless forward declaration introduces no
+// API surface so it needs no doc comment.
+#pragma once
+
+namespace dbs {
+
+class Database;
+
+/// Columnar prefix aggregates over an ordered item sequence.
+struct SumsExample {
+  double total = 0.0;
+
+  /// \brief Aggregate over the slice [a, b).
+  double slice(int a, int b) const;
+};
+
+/// \brief Rebuilds `sums` from `db` (stand-in signature for the fixture).
+void rebuild(const Database& db, SumsExample& sums);
+
+}  // namespace dbs

@@ -1,0 +1,14 @@
+// expect: api-docs
+// Golden case: an undocumented declaration in a src/model header is now a
+// finding — the model layer is narrated by docs/ARCHITECTURE.md §3, so its
+// public surface must carry doc comments like src/api always had to.
+#pragma once
+
+namespace dbs {
+
+struct UndocumentedColumns {
+  double freq = 0.0;
+  double size = 0.0;
+};
+
+}  // namespace dbs
