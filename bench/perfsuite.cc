@@ -34,16 +34,21 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/distributions.h"
+#include "common/rng.h"
 #include "common/stats.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
 #include "harness.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/server_loop.h"
+#include "workload/generator.h"
 
 namespace {
 
@@ -64,6 +69,7 @@ struct SuiteConfig {
   std::uint64_t base_seed;
   bool heavy;                          // skipped in --gate mode
   std::size_t cds_max_iterations = 0;  // 0 = run CDS to convergence
+  bool serve_drift = false;  // scripted server-loop scenario, not one planner run
 };
 
 // The pinned matrix. Midpoint rows use the paper's Table-5 midpoints
@@ -99,7 +105,62 @@ const SuiteConfig kMatrix[] = {
      true},
     {"scale1e6/drp-cds", Algorithm::kDrpCds, 1000000, 512, kSkew, kPhi, kBandwidth,
      9100, true, 64},
+    // The online re-allocation service (DESIGN.md §12): a scripted 30-epoch
+    // hot-set-rotation scenario through BroadcastServerLoop. wall_ms is the
+    // summed observe_window() wall over all epochs (estimate + repair + any
+    // escalated rebuilds), so wall/30 is the mean epoch latency; the extra
+    // "escalations" metric is the per-trial full-rebuild count (the
+    // escalation rate of the control loop — seeded, hence deterministic).
+    {"serve_drift/rotate30", Algorithm::kDrpCds, 120, 6, kSkew, kPhi, kBandwidth,
+     11000, false, 0, true},
 };
+
+// One scripted serve_drift trial: 6 warm-up epochs of stable Zipf traffic,
+// 18 epochs with the popularity ranks rotating by 7 positions each (the
+// drift that forces repairs and occasional escalations), then 6 steady
+// epochs back. Everything derives from `seed`, so cost/wait/escalations are
+// reproducible bit-for-bit like every other row.
+struct ServeDriftSample {
+  double wall_ms = 0.0;        // Σ observe_window wall across the 30 epochs
+  double cost = 0.0;           // final on-air program cost
+  double waiting_time = 0.0;   // final on-air W_b
+  double escalations = 0.0;    // epochs that ran the full DRP-CDS rebuild
+};
+
+ServeDriftSample run_serve_drift_trial(const SuiteConfig& config,
+                                       std::uint64_t seed) {
+  dbs::Rng rng(seed);
+  std::vector<double> sizes(config.items);
+  for (double& z : sizes) z = dbs::sample_item_size(rng, config.diversity);
+  dbs::BroadcastServerLoop server(
+      std::move(sizes),
+      {.channels = config.channels, .bandwidth = config.bandwidth});
+  std::vector<double> freqs =
+      dbs::zipf_probabilities(config.items, config.skewness);
+
+  ServeDriftSample sample;
+  constexpr std::size_t kEpochs = 30, kWindow = 3000;
+  for (std::size_t epoch = 0; epoch < kEpochs; ++epoch) {
+    if (epoch >= 6 && epoch < 24) {
+      std::rotate(freqs.begin(), freqs.begin() + 7, freqs.end());
+    }
+    const dbs::AliasSampler sampler(freqs);
+    std::vector<dbs::Request> window;
+    window.reserve(kWindow);
+    for (std::size_t i = 0; i < kWindow; ++i) {
+      window.push_back({static_cast<double>(i),
+                        static_cast<dbs::ItemId>(sampler.sample(rng))});
+    }
+    const dbs::Stopwatch watch;
+    const dbs::EpochReport report = server.observe_window(window);
+    sample.wall_ms += watch.millis();
+    sample.escalations += report.escalated ? 1.0 : 0.0;
+  }
+  const std::shared_ptr<const dbs::ProgramSnapshot> final = server.snapshot();
+  sample.cost = final->cost;
+  sample.waiting_time = final->waiting_time;
+  return sample;
+}
 
 // Reads the first "model name" line of /proc/cpuinfo; "unknown" elsewhere.
 std::string cpu_model() {
@@ -232,6 +293,7 @@ int main(int argc, char** argv) {
   struct Row {
     const SuiteConfig* config;
     std::vector<double> wall, calib, cost, wait;
+    std::vector<double> escalations;  // serve_drift rows only
   };
   std::vector<Row> rows;
   for (const SuiteConfig& config : kMatrix) {
@@ -246,24 +308,37 @@ int main(int argc, char** argv) {
     // Trials run one at a time so each can be bracketed by calibration
     // spins; measure_trials seeds trial t of a batch as base + t, so a
     // 1-trial batch at base + t reproduces exactly the same measurement.
-    Row row{&config, {}, {}, {}, {}};
+    Row row{&config, {}, {}, {}, {}, {}};
     Options one_trial = options;
     one_trial.trials = 1;
     one_trial.cds_max_iterations = config.cds_max_iterations;
     for (std::size_t trial = 0; trial < options.trials; ++trial) {
       const double calib_before = calibration_spin_ms();
-      const std::vector<Measurement> batch = dbs::bench::measure_trials(
-          workload, config.algorithm, config.channels, config.bandwidth,
-          one_trial, config.base_seed + trial);
+      double wall_ms, cost, wait;
+      if (config.serve_drift) {
+        const ServeDriftSample sample =
+            run_serve_drift_trial(config, config.base_seed + trial);
+        wall_ms = sample.wall_ms;
+        cost = sample.cost;
+        wait = sample.waiting_time;
+        row.escalations.push_back(sample.escalations);
+      } else {
+        const std::vector<Measurement> batch = dbs::bench::measure_trials(
+            workload, config.algorithm, config.channels, config.bandwidth,
+            one_trial, config.base_seed + trial);
+        const Measurement& m = batch.front();
+        wall_ms = m.elapsed_ms;
+        cost = m.cost;
+        wait = m.waiting_time;
+      }
       const double calib_after = calibration_spin_ms();
-      const Measurement& m = batch.front();
-      row.wall.push_back(m.elapsed_ms);
+      row.wall.push_back(wall_ms);
       // Timing noise only ever adds time, so the smaller spin is the truer
       // probe of the host's speed around this trial; a preemption hitting
       // one spin must not masquerade as the machine being slow.
       row.calib.push_back(std::min(calib_before, calib_after));
-      row.cost.push_back(m.cost);
-      row.wait.push_back(m.waiting_time);
+      row.cost.push_back(cost);
+      row.wait.push_back(wait);
     }
     table.add_row(config.name,
                   {dbs::percentile(row.wall, 0.5),
@@ -312,6 +387,10 @@ int main(int argc, char** argv) {
     json_metric(f, "cost", rows[i].cost);
     std::fputs(",\n", f);
     json_metric(f, "wait", rows[i].wait);
+    if (!rows[i].escalations.empty()) {
+      std::fputs(",\n", f);
+      json_metric(f, "escalations", rows[i].escalations);
+    }
     std::fprintf(f, "\n    }%s\n", i + 1 < rows.size() ? "," : "");
   }
   std::fputs("  ]\n}\n", f);

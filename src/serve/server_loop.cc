@@ -1,5 +1,6 @@
 #include "serve/server_loop.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
@@ -12,28 +13,37 @@ namespace dbs {
 
 ProgramSnapshot::ProgramSnapshot(Database database, ChannelId channels,
                                  std::vector<ChannelId> assignment,
-                                 std::size_t epoch, double bandwidth)
+                                 std::size_t version, double bandwidth)
     : db(std::move(database)),
       alloc(db, channels, std::move(assignment)),
-      epoch(epoch),
+      version(version),
+      epoch(version),
+      cost(alloc.cost()),
       waiting_time(program_waiting_time(alloc, bandwidth)) {}
 
 BroadcastServerLoop::BroadcastServerLoop(std::vector<double> item_sizes,
                                          const ServerLoopConfig& config)
     : config_(config), sizes_(std::move(item_sizes)),
-      tracker_(sizes_.size(), config.tracker_gain, config.tracker_alpha) {
+      tracker_(sizes_.size(), config.tracker_decay, config.tracker_alpha) {
   DBS_CHECK(config.bandwidth > 0.0);
   DBS_CHECK(config.rebuild_threshold >= 0.0);
+  DBS_CHECK(config.escalate_threshold >= 0.0);
+  DBS_CHECK_MSG(config.reference_decay >= 0.0 && config.reference_decay <= 1.0,
+                "reference_decay must lie in [0, 1]");
   DBS_CHECK_MSG(config.channels <= sizes_.size(),
                 "cannot fill more channels than items");
   const MutexLock lock(mutex_);
   Database initial = rebuild_database();
   DrpCdsResult planned = run_drp_cds(initial, config_.channels);
-  published_.store(std::make_shared<const ProgramSnapshot>(
-                       std::move(initial), config_.channels,
-                       planned.allocation.assignment(), epoch_,
-                       config_.bandwidth),
-                   std::memory_order_release);
+  reference_cost_ = planned.final_cost;
+  publish(std::make_shared<const ProgramSnapshot>(
+      std::move(initial), config_.channels, planned.allocation.assignment(),
+      epoch_, config_.bandwidth));
+}
+
+void BroadcastServerLoop::publish(std::shared_ptr<const ProgramSnapshot> next) {
+  const MutexLock lock(publish_mutex_);
+  published_ = std::move(next);
 }
 
 Database BroadcastServerLoop::rebuild_database() const {
@@ -43,59 +53,114 @@ Database BroadcastServerLoop::rebuild_database() const {
 EpochReport BroadcastServerLoop::observe_window(const std::vector<Request>& window) {
   DBS_OBS_SPAN("serve.epoch");
   const MutexLock lock(mutex_);
-  tracker_.observe(window);
-  Database fresh = rebuild_database();
+  Database fresh = [&] {
+    DBS_OBS_SPAN("serve.epoch.estimate");
+    tracker_.observe(window);
+    return rebuild_database();
+  }();
   const std::shared_ptr<const ProgramSnapshot> current = snapshot();
 
   // Repair: carry the on-air assignment into the new popularity estimate and
-  // let CDS fix it up.
-  Allocation repaired(fresh, config_.channels, current->alloc.assignment());
+  // let CDS fix it up from where it stands — the steady-state cheap path.
   Stopwatch repair_watch;
-  CdsStats repair_stats;
-  {
+  RepairResult repaired = [&] {
     DBS_OBS_SPAN("serve.epoch.repair");
-    repair_stats = run_cds(repaired);
-  }
-  const double repair_ms = repair_watch.millis();
-
-  // Reference rebuild from scratch.
-  Stopwatch rebuild_watch;
-  DrpCdsResult rebuilt = [&] {
-    DBS_OBS_SPAN("serve.epoch.rebuild");
-    return run_drp_cds(fresh, config_.channels);
+    return repair_assignment(fresh, config_.channels,
+                             current->alloc.assignment());
   }();
-  const double rebuild_ms = rebuild_watch.millis();
+  const double repair_ms = repair_watch.millis();
 
   EpochReport report;
   report.epoch = ++epoch_;
   report.requests = window.size();
-  report.repaired_cost = repaired.cost();
-  report.rebuilt_cost = rebuilt.final_cost;
-  report.repair_moves = repair_stats.iterations;
+  report.repaired_cost = repaired.final_cost;
+  report.repair_moves = repaired.cds.iterations;
   report.repair_ms = repair_ms;
-  report.rebuild_ms = rebuild_ms;
-  report.adopted_rebuild =
-      rebuilt.final_cost <
-      repaired.cost() * (1.0 - config_.rebuild_threshold);
+  report.estimator_staleness = tracker_.effective_windows();
+  report.reference_cost = reference_cost_;
+  report.cost_excess = repaired.final_cost / reference_cost_ - 1.0;
+
+  // Trigger evaluation (DESIGN.md §12). The stall band opens at half the
+  // regression margin: a zero-move repair with the cost parked there is
+  // wedged in a local optimum it cannot leave, while near-reference
+  // zero-move epochs are plain steady state and must never escalate.
+  const bool elevated = report.cost_excess >= config_.escalate_threshold;
+  const bool in_stall_band =
+      report.cost_excess >= 0.5 * config_.escalate_threshold;
+  if (in_stall_band && repaired.cds.iterations == 0) {
+    ++stall_streak_;
+  } else {
+    stall_streak_ = 0;
+  }
+  report.stall_streak = stall_streak_;
+
+  if (!config_.never_escalate) {
+    if (elevated) {
+      report.escalation_reason = EscalationReason::kCostRegression;
+    } else if (config_.stall_epochs > 0 && stall_streak_ >= config_.stall_epochs) {
+      report.escalation_reason = EscalationReason::kRepairStalled;
+    }
+  }
+  report.escalated = report.escalation_reason != EscalationReason::kNone;
+
+  double chosen_cost = repaired.final_cost;
+  if (report.escalated) {
+    Stopwatch rebuild_watch;
+    DrpCdsResult rebuilt = [&] {
+      DBS_OBS_SPAN("serve.epoch.rebuild");
+      return run_drp_cds(fresh, config_.channels);
+    }();
+    report.rebuild_ms = rebuild_watch.millis();
+    report.rebuilt_cost = rebuilt.final_cost;
+    report.adopted_rebuild =
+        rebuilt.final_cost <
+        repaired.final_cost * (1.0 - config_.rebuild_threshold);
+    if (report.adopted_rebuild) {
+      repaired.allocation = std::move(rebuilt.allocation);
+      chosen_cost = rebuilt.final_cost;
+    }
+    // Whether adopted or not, the escalation measured the truly achievable
+    // cost on this estimate: resetting the reference to it stops the trigger
+    // from re-firing every epoch after drift genuinely raised the optimum.
+    reference_cost_ = std::min(repaired.final_cost, rebuilt.final_cost);
+    stall_streak_ = 0;
+  } else if (chosen_cost < reference_cost_) {
+    reference_cost_ = chosen_cost;  // new best-known
+  } else {
+    // Decayed best-known reference: relax toward the observed cost so slow
+    // genuine drift stops registering as regression eventually.
+    reference_cost_ = (1.0 - config_.reference_decay) * reference_cost_ +
+                      config_.reference_decay * chosen_cost;
+  }
 
   DBS_OBS_COUNTER_INC("serve.epochs");
   DBS_OBS_COUNTER_ADD("serve.requests_observed", window.size());
-  DBS_OBS_COUNTER_ADD("serve.repair_moves", repair_stats.iterations);
+  DBS_OBS_COUNTER_ADD("serve.repair_moves", report.repair_moves);
+  if (report.escalated) {
+    DBS_OBS_COUNTER_INC("serve.escalations");
+    if (report.escalation_reason == EscalationReason::kCostRegression) {
+      DBS_OBS_COUNTER_INC("serve.escalation.cost_regression");
+    } else {
+      DBS_OBS_COUNTER_INC("serve.escalation.repair_stalled");
+    }
+    DBS_OBS_HISTOGRAM_OBSERVE("serve.rebuild_ms", report.rebuild_ms);
+  }
   if (report.adopted_rebuild) DBS_OBS_COUNTER_INC("serve.rebuild_adoptions");
   DBS_OBS_HISTOGRAM_OBSERVE("serve.repair_ms", repair_ms);
-  DBS_OBS_HISTOGRAM_OBSERVE("serve.rebuild_ms", rebuild_ms);
+  DBS_OBS_GAUGE_SET("serve.reference_cost", reference_cost_);
+  DBS_OBS_GAUGE_SET("serve.cost_excess", report.cost_excess);
+  DBS_OBS_GAUGE_SET("serve.estimator.effective_windows",
+                    report.estimator_staleness);
 
-  // Publish the chosen program as a fresh immutable snapshot (RCU swap):
+  // Publish the chosen program as a fresh immutable snapshot (RCU hand-off):
   // the snapshot owns its own Database copy, so readers holding the old
   // version keep a consistent db+alloc pair while new readers see this one.
-  std::vector<ChannelId> chosen = report.adopted_rebuild
-                                      ? rebuilt.allocation.assignment()
-                                      : repaired.assignment();
   auto next = std::make_shared<const ProgramSnapshot>(
-      std::move(fresh), config_.channels, std::move(chosen), epoch_,
-      config_.bandwidth);
+      std::move(fresh), config_.channels, repaired.allocation.assignment(),
+      epoch_, config_.bandwidth);
+  report.version = next->version;
   report.waiting_time = next->waiting_time;
-  published_.store(std::move(next), std::memory_order_release);
+  publish(std::move(next));
   report.metrics = obs::MetricsRegistry::global().snapshot();
   return report;
 }

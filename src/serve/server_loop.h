@@ -1,27 +1,39 @@
-// The operational broadcast-server loop of the paper's Figure 1: the server
-// collects the access patterns of mobile users, re-estimates item
-// popularity, and regenerates the broadcast program when it pays off.
+// The operational broadcast-server loop of the paper's Figure 1, grown into
+// an online re-allocation service (ROADMAP item 2, DESIGN.md §12): the
+// server streams the access patterns of mobile users into a decayed-count
+// estimate and keeps the program on air near-optimal with *incremental*
+// repair, escalating to a full rebuild only when repair demonstrably stops
+// being good enough.
 //
 // Each epoch:
-//   1. observe a window of client requests (FrequencyTracker, exponential
-//      forgetting, Laplace smoothing);
-//   2. rebuild the database with the fresh estimate;
-//   3. repair the current allocation with CDS from the carried-over
-//      assignment (cheap), and compute a full DRP-CDS rebuild (reference);
-//   4. adopt the rebuild only when it beats the repaired allocation by more
-//      than `rebuild_threshold` (relative) — otherwise keep the repair, so
-//      most epochs cost a handful of CDS moves instead of a full rebuild.
+//   1. fold the observed request window into the DecayedFrequencyTracker
+//      (decayed raw counts, Laplace smoothing) and re-derive the database;
+//   2. repair the carried-over assignment with CDS moves from where it is
+//      (core/drp_cds.h repair_assignment) — the cheap steady-state path;
+//   3. compare the repaired cost against a decayed best-known reference
+//      cost; only when the excess crosses the regression trigger, or repair
+//      stalls while elevated for `stall_epochs` in a row, run the full
+//      DRP-CDS rebuild and adopt it if it beats the repair by
+//      `rebuild_threshold` — so steady-state epochs never pay for a rebuild;
+//   4. publish the chosen program as a fresh immutable versioned snapshot.
 //
-// Concurrency model (DESIGN.md §11): the estimator state is guarded by a
-// single writer mutex (compiler-checked via the DBS_GUARDED_BY contracts
-// below), while the program on air is published as an immutable, versioned
-// ProgramSnapshot behind an atomic shared_ptr — the RCU-style swap of
-// ROADMAP item 2. Readers load the snapshot lock-free and keep it alive for
-// as long as they hold the shared_ptr; a concurrent observe_window() swap
-// never blocks them and never mutates a snapshot they can see.
+// Concurrency model (DESIGN.md §11): the estimator and control-loop state
+// are guarded by a single writer mutex (compiler-checked via the
+// DBS_GUARDED_BY contracts below), while the program on air is published as
+// an immutable, versioned ProgramSnapshot in a slot guarded by a dedicated
+// publish mutex that is only ever held for the O(1) shared_ptr copy/swap —
+// the RCU-style hand-off of ROADMAP item 2. Readers copy the snapshot
+// pointer in that micro critical section and keep the snapshot alive for as
+// long as they hold the shared_ptr; the epoch's actual work (estimation,
+// repair, rebuild) runs entirely outside the publish mutex, so a concurrent
+// observe_window() never blocks readers on computation and never mutates a
+// snapshot they can see. Snapshot versions are strictly monotone across
+// publishes. (A std::atomic<std::shared_ptr> would make the read truly
+// lock-free, but libstdc++'s _Sp_atomic spinlock predates its TSan
+// annotations on the oldest toolchain this repo supports, so the annotated
+// Mutex slot is the contract the sanitizers and -Wthread-safety can check.)
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <vector>
@@ -40,9 +52,33 @@ namespace dbs {
 struct ServerLoopConfig {
   ChannelId channels = 6;
   double bandwidth = 10.0;
-  double tracker_gain = 0.4;       ///< exponential-forgetting weight
+  double tracker_decay = 0.5;      ///< per-window count decay ρ, in (0, 1]
   double tracker_alpha = 1.0;      ///< Laplace smoothing mass per item
-  double rebuild_threshold = 0.01; ///< adopt rebuild if ≥1% better than repair
+  double rebuild_threshold = 0.01; ///< adopt a rebuild if ≥1% better than repair
+
+  /// Cost-regression trigger: escalate to a full rebuild when the repaired
+  /// cost exceeds the decayed best-known reference by this relative margin.
+  /// 0 is the hair-trigger edge: any epoch whose repair fails to improve on
+  /// the reference escalates, approximating the legacy compute-both loop.
+  double escalate_threshold = 0.05;
+  /// Stall trigger: escalate when repair applies zero moves while the cost
+  /// sits in the elevated band (≥ half the regression margin above the
+  /// reference) for this many consecutive epochs. 0 disables the trigger.
+  std::size_t stall_epochs = 4;
+  /// How fast the best-known reference forgets: when the chosen cost lands
+  /// above the reference without escalating, the reference relaxes toward it
+  /// with this weight, so genuine slow drift stops reading as regression.
+  double reference_decay = 0.05;
+  /// Pins the service to repair-only operation: no epoch ever runs the full
+  /// DRP-CDS rebuild, whatever the triggers say.
+  bool never_escalate = false;
+};
+
+/// Why an epoch escalated to a full DRP-CDS rebuild.
+enum class EscalationReason {
+  kNone,            ///< steady state: repair was good enough
+  kCostRegression,  ///< repaired cost ≥ reference · (1 + escalate_threshold)
+  kRepairStalled,   ///< zero-move repairs while elevated for stall_epochs
 };
 
 /// Per-epoch record.
@@ -50,14 +86,37 @@ struct EpochReport {
   std::size_t epoch = 0;
   std::size_t requests = 0;
   double repaired_cost = 0.0;   ///< after CDS repair of the carried program
-  double rebuilt_cost = 0.0;    ///< full DRP-CDS from scratch
-  bool adopted_rebuild = false;
   std::size_t repair_moves = 0;
   double waiting_time = 0.0;    ///< W_b of the program now on air
 
+  /// Control-loop state (DESIGN.md §12): the decayed best-known reference
+  /// cost the trigger compared against, and the repaired cost's relative
+  /// excess over it (repaired/reference − 1) *before* this epoch's outcome
+  /// was folded back into the reference.
+  double reference_cost = 0.0;
+  double cost_excess = 0.0;
+  /// Consecutive elevated zero-move epochs, including this one (resets on
+  /// any repair progress, on leaving the elevated band, and on escalation).
+  std::size_t stall_streak = 0;
+
+  /// Escalation outcome. rebuilt_cost and rebuild_ms are meaningful only
+  /// when `escalated` — steady-state epochs never run the rebuild and
+  /// report both as 0.
+  bool escalated = false;
+  EscalationReason escalation_reason = EscalationReason::kNone;
+  double rebuilt_cost = 0.0;    ///< full DRP-CDS from scratch (escalated only)
+  bool adopted_rebuild = false;
+
+  /// Estimator staleness: how many windows the decayed counts effectively
+  /// remember (DecayedFrequencyTracker::effective_windows).
+  double estimator_staleness = 0.0;
+
+  /// Version of the snapshot this epoch published (strictly monotone).
+  std::size_t version = 0;
+
   /// Wall time of the CDS repair step (Stopwatch, milliseconds).
   double repair_ms = 0.0;
-  /// Wall time of the reference DRP-CDS rebuild (Stopwatch, milliseconds).
+  /// Wall time of the DRP-CDS rebuild (0 when the epoch did not escalate).
   double rebuild_ms = 0.0;
 
   /// Snapshot of the process-global metrics registry taken at the end of the
@@ -67,14 +126,15 @@ struct EpochReport {
 };
 
 /// Immutable program version: the database the program was planned against,
-/// the allocation on air (bound to that database), the epoch that produced
-/// it and its waiting time. Snapshots are built once, published via an
-/// atomic shared_ptr swap, and never mutated afterwards — any number of
-/// concurrent readers can hold one while the server moves on.
+/// the allocation on air (bound to that database), the version/epoch that
+/// produced it, its cost and waiting time. Snapshots are built once,
+/// published by swapping the guarded shared_ptr slot, and never mutated
+/// afterwards — any number of concurrent readers can hold one while the
+/// server moves on.
 struct ProgramSnapshot {
   /// Builds the snapshot and binds `alloc` to the stored `db` copy.
   ProgramSnapshot(Database database, ChannelId channels,
-                  std::vector<ChannelId> assignment, std::size_t epoch,
+                  std::vector<ChannelId> assignment, std::size_t version,
                   double bandwidth);
 
   // alloc references db by address, so a snapshot must never be copied or
@@ -84,15 +144,19 @@ struct ProgramSnapshot {
 
   const Database db;
   const Allocation alloc;        ///< bound to this->db
-  const std::size_t epoch;
+  /// Publication version, strictly monotone across publishes; equals the
+  /// epoch that produced the snapshot (version 0 is the initial program).
+  const std::size_t version;
+  const std::size_t epoch;       ///< alias of version, kept for reports
+  const double cost;             ///< alloc.cost() recorded at build time
   const double waiting_time;     ///< W_b of alloc at the config bandwidth
 };
 
-/// Long-running server: owns the catalogue sizes, the popularity estimate
-/// and the published program versions. observe_window() is the single
-/// writer (safe to call from any one thread at a time; the mutex makes
-/// concurrent callers serialize rather than race); snapshot() is a wait-free
-/// reader safe from any thread.
+/// Long-running server: owns the catalogue sizes, the popularity estimate,
+/// the repair/rebuild control loop and the published program versions.
+/// observe_window() is the single writer (safe to call from any one thread
+/// at a time; the mutex makes concurrent callers serialize rather than
+/// race); snapshot() is a wait-free reader safe from any thread.
 class BroadcastServerLoop {
  public:
   /// Starts from a uniform popularity estimate over the given item sizes and
@@ -106,10 +170,13 @@ class BroadcastServerLoop {
       DBS_EXCLUDES(mutex_);
 
   /// The program currently on air, as an immutable shared snapshot. Safe to
-  /// call from any thread, never blocks the writer; the returned snapshot
+  /// call from any thread; the critical section is one shared_ptr copy, so
+  /// readers never wait on an epoch's computation. The returned snapshot
   /// stays valid (and unchanged) for as long as the caller holds it.
-  std::shared_ptr<const ProgramSnapshot> snapshot() const {
-    return published_.load(std::memory_order_acquire);
+  std::shared_ptr<const ProgramSnapshot> snapshot() const
+      DBS_EXCLUDES(publish_mutex_) {
+    const MutexLock lock(publish_mutex_);
+    return published_;
   }
 
   /// The database under the current popularity estimate. Single-threaded
@@ -127,16 +194,26 @@ class BroadcastServerLoop {
  private:
   Database rebuild_database() const DBS_REQUIRES(mutex_);
 
+  /// Swaps the published snapshot slot (the only place publish_mutex_ is
+  /// taken on the writer side — an O(1) pointer move).
+  void publish(std::shared_ptr<const ProgramSnapshot> next)
+      DBS_EXCLUDES(publish_mutex_);
+
   // Concurrency contract: config_ and sizes_ are immutable after
-  // construction; the estimator and epoch counter belong to the writer and
-  // are guarded by mutex_; published_ is the lock-free RCU pointer readers
-  // go through (release store on publish, acquire load on read).
+  // construction; the estimator, epoch counter and control-loop state
+  // (reference cost, stall streak) belong to the writer and are guarded by
+  // mutex_; published_ is the RCU hand-off slot readers copy from under
+  // publish_mutex_, which is never held across any computation. Lock order:
+  // mutex_ before publish_mutex_; readers take publish_mutex_ alone.
   const ServerLoopConfig config_;
   const std::vector<double> sizes_;
   mutable Mutex mutex_;
-  FrequencyTracker tracker_ DBS_GUARDED_BY(mutex_);
+  DecayedFrequencyTracker tracker_ DBS_GUARDED_BY(mutex_);
   std::size_t epoch_ DBS_GUARDED_BY(mutex_) = 0;
-  std::atomic<std::shared_ptr<const ProgramSnapshot>> published_;
+  double reference_cost_ DBS_GUARDED_BY(mutex_) = 0.0;
+  std::size_t stall_streak_ DBS_GUARDED_BY(mutex_) = 0;
+  mutable Mutex publish_mutex_;
+  std::shared_ptr<const ProgramSnapshot> published_ DBS_GUARDED_BY(publish_mutex_);
 };
 
 }  // namespace dbs

@@ -1,5 +1,7 @@
 #include "workload/estimate.h"
 
+#include <cmath>
+
 #include "common/check.h"
 
 namespace dbs {
@@ -36,6 +38,47 @@ void FrequencyTracker::observe(const std::vector<Request>& window) {
     estimate_[i] = (1.0 - gain_) * estimate_[i] + gain_ * fresh[i];
   }
   ++windows_;
+}
+
+DecayedFrequencyTracker::DecayedFrequencyTracker(std::size_t items, double decay,
+                                                 double alpha)
+    : decay_(decay), alpha_(alpha), counts_(items, 0.0) {
+  DBS_CHECK(items > 0);
+  DBS_CHECK_MSG(decay > 0.0 && decay <= 1.0, "decay must lie in (0, 1]");
+  DBS_CHECK_MSG(alpha > 0.0,
+                "decayed counts need positive smoothing mass to stay defined");
+}
+
+void DecayedFrequencyTracker::observe(const std::vector<Request>& window) {
+  if (decay_ < 1.0) {
+    for (double& c : counts_) c *= decay_;
+    total_ *= decay_;
+  }
+  for (const Request& r : window) {
+    DBS_CHECK_MSG(r.item < counts_.size(), "request for unknown item " << r.item);
+    counts_[r.item] += 1.0;
+    total_ += 1.0;
+  }
+  ++windows_;
+}
+
+std::vector<double> DecayedFrequencyTracker::frequencies() const {
+  // Mirrors estimate_frequencies' arithmetic shape (counts + alpha, divided
+  // by mass + alpha·N) so the ρ = 1 single-window case is bit-identical to
+  // the batch estimator.
+  std::vector<double> freqs(counts_.size());
+  const double total = total_ + alpha_ * static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    freqs[i] = (counts_[i] + alpha_) / total;
+  }
+  return freqs;
+}
+
+double DecayedFrequencyTracker::effective_windows() const {
+  if (windows_ == 0) return 0.0;
+  if (decay_ >= 1.0) return static_cast<double>(windows_);
+  const double rho_w = std::pow(decay_, static_cast<double>(windows_));
+  return (1.0 - rho_w) / (1.0 - decay_);
 }
 
 }  // namespace dbs

@@ -45,4 +45,50 @@ class FrequencyTracker {
   std::size_t windows_ = 0;
 };
 
+/// Streaming estimator over decayed raw counts, the serve loop's estimator
+/// (DESIGN.md §12). Where FrequencyTracker blends normalized per-window
+/// estimates, this tracker keeps one decayed count per item,
+///     c_i ← ρ·c_i + (requests for i in the window),
+/// and normalizes with Laplace smoothing only when frequencies() is read:
+///     f_i = (c_i + α) / (C + α·N),  C = Σ c_i.
+/// Working on raw counts makes the fold order-independent within a window
+/// (each request is an independent `+= 1.0`), weighs windows by how much
+/// traffic they actually carried, and with ρ = 1 over a single window is
+/// bit-identical to the batch estimate_frequencies() — both properties are
+/// locked in by estimate_test.
+class DecayedFrequencyTracker {
+ public:
+  /// \brief Starts from zero counts (frequencies() is uniform until the
+  /// first window). Requires items > 0, 0 < decay ≤ 1 and alpha > 0 (the
+  /// smoothing mass is what keeps the estimate defined before any traffic).
+  explicit DecayedFrequencyTracker(std::size_t items, double decay = 0.5,
+                                   double alpha = 1.0);
+
+  /// \brief Decays the carried counts by `decay`, then folds the window in.
+  void observe(const std::vector<Request>& window);
+
+  /// \brief Current normalized estimate (sums to 1, strictly positive).
+  std::vector<double> frequencies() const;
+
+  /// \brief The decayed count column c, indexed by ItemId.
+  const std::vector<double>& counts() const { return counts_; }
+
+  /// \brief Total decayed request mass C = Σ c_i still remembered.
+  double effective_requests() const { return total_; }
+
+  /// \brief How many windows the estimate effectively remembers:
+  /// Σ_{k<w} ρ^k = (1 − ρ^w)/(1 − ρ), or w when ρ = 1. This is the
+  /// estimator-staleness figure surfaced in EpochReport.
+  double effective_windows() const;
+
+  std::size_t windows_observed() const { return windows_; }
+
+ private:
+  double decay_;
+  double alpha_;
+  std::vector<double> counts_;
+  double total_ = 0.0;  // Σ counts_, maintained incrementally
+  std::size_t windows_ = 0;
+};
+
 }  // namespace dbs
