@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "api/planner.h"
+#include "api/portfolio.h"
 #include "common/strings.h"
 #include "harness.h"
 
@@ -42,5 +43,46 @@ int main(int argc, char** argv) {
   std::puts("expect: the probe term shrinks with K but downloads slow as "
             "b = B/K; higher skew favours more channels (hot items get tiny "
             "dedicated cycles) — the planner finds the balance point.");
+
+  // Portfolio extension (DESIGN.md §13): the same workloads through the
+  // budgeted race at its default 250 ms deadline, against DRP-CDS alone.
+  // The winner is never costlier than DRP-CDS (it is one of the racers);
+  // the win columns show which racer delivered it per skew level.
+  banner("Extension: optimizer portfolio",
+         "plan(db, K, 250 ms) vs DRP-CDS alone at the paper midpoint", options);
+  AsciiTable race({"theta", "cost drp-cds", "cost portfolio", "gain %",
+                   "wins drp", "wins kk", "wins gopt"});
+  std::vector<std::vector<double>> race_rows;
+  for (double theta : {0.4, 0.8, 1.2, 1.6}) {
+    double base_cost = 0.0, race_cost = 0.0;
+    double wins[3] = {0.0, 0.0, 0.0};
+    for (std::size_t trial = 0; trial < options.trials; ++trial) {
+      const Database db = generate_database({.items = d.items, .skewness = theta,
+                                             .diversity = d.diversity,
+                                             .seed = 15000 + trial});
+      ScheduleRequest request;
+      request.algorithm = Algorithm::kDrpCds;
+      request.channels = d.channels;
+      request.bandwidth = d.bandwidth;
+      base_cost += schedule(db, request).cost;
+      const PortfolioResult raced = plan(db, d.channels, 250.0);
+      race_cost += raced.cost;
+      wins[static_cast<std::size_t>(raced.winner)] += 1.0;
+    }
+    const auto t = static_cast<double>(options.trials);
+    const double gain = (base_cost - race_cost) / base_cost * 100.0;
+    race.add_row(format_fixed(theta, 1),
+                 {base_cost / t, race_cost / t, gain, wins[0], wins[1], wins[2]},
+                 3);
+    race_rows.push_back({theta, base_cost / t, race_cost / t, gain, wins[0],
+                         wins[1], wins[2]});
+  }
+  emit(race, options,
+       {"theta", "cost_drp_cds", "cost_portfolio", "gain_pct", "wins_drp",
+        "wins_kk", "wins_gopt"},
+       race_rows);
+  std::puts("expect: the portfolio never loses to DRP-CDS (it races it); the "
+            "KK seed and the budgeted GA pick up whatever workloads DRP's "
+            "benefit-ratio ordering leaves on the table.");
   return 0;
 }

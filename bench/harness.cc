@@ -1,14 +1,12 @@
 #include "harness.h"
 
-#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <exception>
-#include <thread>
 #include <vector>
 
 #include "common/csv.h"
+#include "common/parallel.h"
 
 namespace dbs::bench {
 
@@ -44,13 +42,23 @@ Measurement measure(const Database& db, Algorithm algorithm, ChannelId channels,
   request.channels = channels;
   request.bandwidth = bandwidth;
   request.gopt.seed = seed;
+  request.portfolio.gopt.seed = seed;
   if (quick) {
     request.gopt.population = 60;
     request.gopt.generations = 150;
     request.gopt.stall_generations = 50;
+    request.portfolio.gopt = request.gopt;
   }
   if (cds_max_iterations != 0) {
     request.drp_cds.cds.max_iterations = cds_max_iterations;
+    request.portfolio.drp_cds.cds.max_iterations = cds_max_iterations;
+    request.portfolio.kk_cds.max_iterations = cds_max_iterations;
+  }
+  if (algorithm == Algorithm::kPortfolio) {
+    // Bench rows must stay seed-deterministic: give the race a budget no
+    // racer ever exhausts, so every racer runs to completion and the winner
+    // depends only on the seeds, never on host timing.
+    request.portfolio_deadline_ms = 60'000.0;
   }
   const ScheduleResult result = schedule(db, request);
   return Measurement{result.waiting_time, result.cost, result.elapsed_ms};
@@ -71,78 +79,14 @@ Measurement run_trial(const WorkloadConfig& config, Algorithm algorithm,
                  options.cds_max_iterations);
 }
 
-// Fixed-size worker pool over an atomic work index, with an annotated
-// first-error slot so a throwing trial surfaces on the caller instead of
-// std::terminate()-ing the worker.
-//
-// Concurrency contract: next_ and cancelled_ are lock-free relaxed atomics
-// (claims are idempotent and ordering-free; per-slot results are published
-// to the caller by the join, not by the atomics); first_error_ is the only
-// cross-thread mutable state and is guarded by mutex_.
-class TrialPool {
- public:
-  TrialPool(std::size_t trials, const std::function<void(std::size_t)>& body)
-      : trials_(trials), body_(body) {}
-
-  // Worker loop: claim → run → repeat, bailing out as soon as any worker
-  // has failed. Only the first exception is kept; the pool is shutting down
-  // either way, and one actionable error beats an arbitrary pile.
-  void worker() {
-    while (!cancelled_.load(std::memory_order_relaxed)) {
-      const std::size_t trial = next_.fetch_add(1, std::memory_order_relaxed);
-      if (trial >= trials_) return;
-      try {
-        body_(trial);
-      } catch (...) {
-        const MutexLock lock(mutex_);
-        if (first_error_ == nullptr) first_error_ = std::current_exception();
-        cancelled_.store(true, std::memory_order_relaxed);
-      }
-    }
-  }
-
-  // Rethrows the first captured exception, if any. Must only be called
-  // after every worker has been joined (the join is what orders the
-  // workers' writes before this read).
-  void rethrow_if_failed() {
-    const MutexLock lock(mutex_);
-    if (first_error_ != nullptr) std::rethrow_exception(first_error_);
-  }
-
- private:
-  const std::size_t trials_;
-  const std::function<void(std::size_t)>& body_;
-  std::atomic<std::size_t> next_{0};
-  std::atomic<bool> cancelled_{false};
-  Mutex mutex_;
-  std::exception_ptr first_error_ DBS_GUARDED_BY(mutex_);
-};
-
 }  // namespace
 
 void run_trials(std::size_t trials, std::size_t workers,
                 const std::function<void(std::size_t)>& body) {
-  // 0 auto-detects; the pool never exceeds the trial count (idle workers
-  // are pure overhead).
-  if (workers == 0) {
-    workers = std::thread::hardware_concurrency();
-    if (workers == 0) workers = 1;
-  }
-  if (workers > trials) workers = trials;
-  if (workers <= 1) {
-    // Serial path: run inline so exceptions propagate directly and the
-    // parallel path has a bit-identical reference to be diffed against.
-    for (std::size_t trial = 0; trial < trials; ++trial) body(trial);
-    return;
-  }
-  TrialPool pool(trials, body);
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    threads.emplace_back([&pool] { pool.worker(); });
-  }
-  for (std::thread& thread : threads) thread.join();
-  pool.rethrow_if_failed();
+  // The pool itself moved to common/parallel.h (PR 9) so the optimizer
+  // portfolio can race planners on it; the bench-facing name and contract
+  // are unchanged.
+  run_tasks(trials, workers, body);
 }
 
 std::vector<Measurement> measure_trials(const WorkloadConfig& config,

@@ -11,7 +11,6 @@
 #include <vector>
 
 #include "api/scheduler.h"
-#include "common/sync.h"
 #include "common/table.h"
 #include "model/database.h"
 #include "workload/generator.h"
@@ -62,10 +61,13 @@ struct Measurement {
 /// \brief Runs `algorithm` on `db` and reports waiting time / cost / runtime.
 ///
 /// `channels` and `bandwidth` parameterize the schedule request; `seed`
-/// seeds the stochastic algorithms (GOPT's GA), so equal seeds give
-/// bit-identical cost and waiting time. When `quick` is set, GOPT receives
-/// a scaled-down budget (population 60, 150 generations) for smoke runs.
-/// `cds_max_iterations` follows the Options convention (0 = unbounded).
+/// seeds the stochastic algorithms (GOPT's GA, both standalone and inside
+/// the portfolio), so equal seeds give bit-identical cost and waiting time.
+/// When `quick` is set, GOPT receives a scaled-down budget (population 60,
+/// 150 generations) for smoke runs. `cds_max_iterations` follows the
+/// Options convention (0 = unbounded). kPortfolio runs get a 60 s race
+/// deadline no racer exhausts, so bench portfolio results stay
+/// seed-deterministic instead of host-timing-dependent.
 Measurement measure(const Database& db, Algorithm algorithm, ChannelId channels,
                     double bandwidth, bool quick, std::uint64_t seed,
                     std::size_t cds_max_iterations = 0);
@@ -94,7 +96,9 @@ std::vector<Measurement> measure_trials(const WorkloadConfig& config,
                                         std::uint64_t base_seed);
 
 /// \brief Runs `body(trial)` for every trial in [0, trials) on a fixed-size
-/// worker pool — the primitive underneath measure_trials.
+/// worker pool — the primitive underneath measure_trials. Since PR 9 the
+/// pool itself lives in common/parallel.h (dbs::run_tasks, shared with the
+/// optimizer portfolio); this wrapper keeps the bench-facing name.
 ///
 /// `workers` follows the --threads convention: 0 auto-detects one worker per
 /// hardware core, the pool never exceeds `trials`, and a count of one runs

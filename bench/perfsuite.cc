@@ -91,6 +91,14 @@ const SuiteConfig kMatrix[] = {
      false},
     {"midpoint/vfk", Algorithm::kVfk, 120, 6, kSkew, kPhi, kBandwidth, 1000, false},
     {"midpoint/gopt", Algorithm::kGopt, 120, 6, kSkew, kPhi, kBandwidth, 1000, false},
+    // The budgeted optimizer portfolio (DESIGN.md §13) on the same midpoint
+    // workloads. The harness gives bench portfolio runs a deadline no racer
+    // exhausts, so all three racers finish and the winner's cost is as
+    // seed-deterministic as every other row; by construction it is ≤ the
+    // midpoint/drp-cds cost at the same trial seeds. wall_ms is the whole
+    // race (racers run concurrently, timeshared on small hosts).
+    {"midpoint/portfolio", Algorithm::kPortfolio, 120, 6, kSkew, kPhi, kBandwidth,
+     1000, false},
     {"scale2000/drp", Algorithm::kDrp, 2000, 10, kSkew, kPhi, kBandwidth, 7000, false},
     {"scale2000/drp-cds", Algorithm::kDrpCds, 2000, 10, kSkew, kPhi, kBandwidth, 7000,
      false},

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "api/portfolio.h"
 #include "baselines/annealing.h"
 #include "baselines/gopt.h"
 #include "core/drp_cds.h"
@@ -28,6 +29,7 @@ enum class Algorithm {
   kGopt,          ///< genetic near-global-optimum (paper baseline)
   kAnneal,        ///< simulated-annealing metaheuristic
   kBruteForce,    ///< exact optimum, small N only
+  kPortfolio,     ///< budgeted race: DRP-CDS | KK-CDS | GOPT (api/portfolio.h)
 };
 
 /// Metadata for algorithm discovery (used by examples to enumerate).
@@ -48,8 +50,11 @@ const std::vector<AlgorithmInfo>& all_algorithms();
 /// returns std::nullopt when the name is unknown.
 std::optional<Algorithm> algorithm_from_name(std::string_view name);
 
-/// \brief Algorithm → stable name ("unknown" for an out-of-range enum).
-/// The returned view points at the static registry and never dangles.
+/// \brief Algorithm → stable name.
+/// Every Algorithm enumerator is registered, so this throws
+/// ContractViolation for an enum value missing from all_algorithms() — a
+/// silent "unknown" once let unregistered algorithms ship unnoticed. The
+/// returned view points at the static registry and never dangles.
 std::string_view algorithm_name(Algorithm algorithm);
 
 /// Request: which algorithm, how many channels, and tuning knobs for the
@@ -61,6 +66,9 @@ struct ScheduleRequest {
   DrpCdsOptions drp_cds;    ///< used by kDrp / kDrpCds
   GoptOptions gopt;         ///< used by kGopt
   AnnealOptions anneal;     ///< used by kAnneal
+  PortfolioOptions portfolio;  ///< used by kPortfolio
+  /// Race budget for kPortfolio, in milliseconds (see api/portfolio.h).
+  double portfolio_deadline_ms = 250.0;
 };
 
 /// Result: the allocation plus the headline metrics.
@@ -68,7 +76,12 @@ struct ScheduleResult {
   Allocation allocation;
   double cost = 0.0;          ///< Σ F_i·Z_i (Eq. 3)
   double waiting_time = 0.0;  ///< W_b (Eq. 2) at the requested bandwidth
-  double elapsed_ms = 0.0;    ///< wall-clock runtime of the algorithm proper
+  /// Wall-clock time of the whole schedule() call: the algorithm *plus* the
+  /// cost / waiting-time evaluation above. This is the same span an
+  /// external stopwatch around schedule() sees, so harness brackets and
+  /// this field agree by construction (convention documented in
+  /// docs/BENCHMARKING.md; before PR 9 evaluation was excluded).
+  double elapsed_ms = 0.0;
 };
 
 /// \brief Runs the requested algorithm on `db` and returns the allocation

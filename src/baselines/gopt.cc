@@ -52,6 +52,11 @@ GoptResult run_gopt(const Database& db, ChannelId channels,
     ++evaluations;
   };
 
+  // Every internal CDS polish shares the run's deadline, so a budgeted GOPT
+  // cannot hide an unbounded local search inside a generation.
+  CdsOptions polish_options;
+  polish_options.deadline = options.deadline;
+
   // ---- initial population -------------------------------------------------
   std::vector<Individual> population(options.population);
   std::size_t next = 0;
@@ -61,12 +66,15 @@ GoptResult run_gopt(const Database& db, ChannelId channels,
     // elitism this makes GOPT never worse than any of them, matching its
     // role as the (near-)global-optimum reference.
     Allocation drp_polished = run_drp(db, channels).allocation;
-    run_cds(drp_polished);
+    run_cds(drp_polished, polish_options);
     population[next].genes = drp_polished.assignment();
     evaluate(population[next++]);
-    if (next < population.size()) {
+    if (next < population.size() && !options.deadline.armed()) {
+      // Skipped under any armed deadline (not just an expired one): the
+      // ordered-DP seed is O(K·N²) with no cancellation point, so on large
+      // instances it alone could overrun an entire race budget.
       Allocation dp_polished = ordered_dp_optimal(db, channels);
-      run_cds(dp_polished);
+      run_cds(dp_polished, polish_options);
       population[next].genes = dp_polished.assignment();
       evaluate(population[next++]);
     }
@@ -102,9 +110,15 @@ GoptResult run_gopt(const Database& db, ChannelId channels,
   // ---- generational loop --------------------------------------------------
   std::size_t generations_run = 0;
   std::size_t stall = 0;
+  bool completed = true;
   std::vector<Individual> offspring(population.size());
 
   for (std::size_t gen = 0; gen < options.generations; ++gen) {
+    if (options.deadline.expired()) {
+      // Cooperative cancellation granule: one generation.
+      completed = false;
+      break;
+    }
     ++generations_run;
 
     // Elitism: copy the best individuals unchanged.
@@ -153,7 +167,7 @@ GoptResult run_gopt(const Database& db, ChannelId channels,
     if (options.polish_interval != 0 && (gen + 1) % options.polish_interval == 0) {
       auto best_it = std::min_element(population.begin(), population.end(), better);
       Allocation polished(db, channels, best_it->genes);
-      run_cds(polished);
+      run_cds(polished, polish_options);
       best_it->genes = polished.assignment();
       evaluate(*best_it);
     }
@@ -170,10 +184,14 @@ GoptResult run_gopt(const Database& db, ChannelId channels,
 
   Allocation alloc(db, channels, best.genes);
   if (options.local_search_final) {
-    run_cds(alloc);  // memetic polish; strictly non-increasing in cost
+    // Memetic polish; strictly non-increasing in cost. Deadline-capped like
+    // every other CDS run, so an expired budget still gets whatever moves
+    // fit before returning.
+    run_cds(alloc, polish_options);
   }
   const double final_cost = alloc.cost();
-  return GoptResult{std::move(alloc), final_cost, generations_run, evaluations};
+  return GoptResult{std::move(alloc), final_cost, generations_run, evaluations,
+                    completed};
 }
 
 }  // namespace dbs

@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/deadline.h"
 #include "model/allocation.h"
 #include "model/database.h"
 
@@ -37,6 +38,15 @@ struct GoptOptions {
                                     ///< lets the GA escape local optima that
                                     ///< crossover alone cannot leave
   std::uint64_t seed = 42;
+
+  /// Cooperative cancellation (DESIGN.md §13): polled once per generation,
+  /// between heuristic seeds, and forwarded into every internal CDS polish.
+  /// When it fires the search stops and returns the best individual found so
+  /// far. An *armed* deadline also skips the O(K·N²) ordered-DP seed, which
+  /// has no cancellation point of its own — a budgeted run must not sink its
+  /// whole budget before the first generation. never() (the default)
+  /// reproduces the unbudgeted search bit-for-bit.
+  Deadline deadline = Deadline::never();
 };
 
 /// GOPT run record.
@@ -45,6 +55,7 @@ struct GoptResult {
   double cost = 0.0;
   std::size_t generations_run = 0;
   std::uint64_t evaluations = 0;  ///< number of fitness evaluations performed
+  bool completed = true;  ///< false iff the deadline stopped the search early
 };
 
 /// Runs the genetic search. Requires 1 ≤ K ≤ N.

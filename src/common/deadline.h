@@ -1,0 +1,50 @@
+// Cooperative cancellation for budgeted optimizer runs (DESIGN.md §13).
+//
+// A Deadline is an immutable point on the steady clock that long-running
+// search loops poll between iterations: CDS checks it once per applied-move
+// iteration and GOPT once per generation, so a budgeted run overshoots its
+// deadline by at most one such granule. There is no asynchronous
+// interruption — expiry is only ever observed at these cancellation points,
+// which keeps every optimizer loop single-threaded and data-race free even
+// when several racers share one Deadline by value.
+#pragma once
+
+#include <chrono>
+
+namespace dbs {
+
+/// Steady-clock deadline passed by value into optimizer options. The
+/// default-constructible state is "never expires" and costs one branch (no
+/// clock read) per expired() poll, so un-budgeted callers pay nothing.
+class Deadline {
+ public:
+  /// A deadline that never fires — the default for every optimizer.
+  static Deadline never() { return Deadline(); }
+
+  /// A deadline `budget_ms` milliseconds from now. Non-positive budgets
+  /// produce an already-expired deadline.
+  static Deadline after_ms(double budget_ms) {
+    Deadline deadline;
+    deadline.armed_ = true;
+    deadline.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                      std::chrono::duration<double, std::milli>(
+                                          budget_ms));
+    return deadline;
+  }
+
+  /// True once the budget has elapsed; always false for never().
+  bool expired() const { return armed_ && Clock::now() >= at_; }
+
+  /// True iff this deadline can ever expire (i.e. it was created by
+  /// after_ms). Lets callers skip work whose cost is only justified on
+  /// un-budgeted runs without reading the clock.
+  bool armed() const { return armed_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Deadline() = default;
+  bool armed_ = false;
+  Clock::time_point at_{};
+};
+
+}  // namespace dbs

@@ -1,0 +1,87 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "common/sync.h"
+
+namespace dbs {
+namespace {
+
+// Fixed-size worker pool over an atomic work index, with an annotated
+// first-error slot so a throwing task surfaces on the caller instead of
+// std::terminate()-ing the worker.
+//
+// Concurrency contract: next_ and cancelled_ are lock-free relaxed atomics
+// (claims are idempotent and ordering-free; per-slot results are published
+// to the caller by the join, not by the atomics); first_error_ is the only
+// cross-thread mutable state and is guarded by mutex_.
+class TaskPool {
+ public:
+  TaskPool(std::size_t tasks, const std::function<void(std::size_t)>& body)
+      : tasks_(tasks), body_(body) {}
+
+  // Worker loop: claim → run → repeat, bailing out as soon as any worker
+  // has failed. Only the first exception is kept; the pool is shutting down
+  // either way, and one actionable error beats an arbitrary pile.
+  void worker() {
+    while (!cancelled_.load(std::memory_order_relaxed)) {
+      const std::size_t task = next_.fetch_add(1, std::memory_order_relaxed);
+      if (task >= tasks_) return;
+      try {
+        body_(task);
+      } catch (...) {
+        const MutexLock lock(mutex_);
+        if (first_error_ == nullptr) first_error_ = std::current_exception();
+        cancelled_.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Rethrows the first captured exception, if any. Must only be called
+  // after every worker has been joined (the join is what orders the
+  // workers' writes before this read).
+  void rethrow_if_failed() {
+    const MutexLock lock(mutex_);
+    if (first_error_ != nullptr) std::rethrow_exception(first_error_);
+  }
+
+ private:
+  const std::size_t tasks_;
+  const std::function<void(std::size_t)>& body_;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<bool> cancelled_{false};
+  Mutex mutex_;
+  std::exception_ptr first_error_ DBS_GUARDED_BY(mutex_);
+};
+
+}  // namespace
+
+void run_tasks(std::size_t tasks, std::size_t workers,
+               const std::function<void(std::size_t)>& body) {
+  // 0 auto-detects; the pool never exceeds the task count (idle workers are
+  // pure overhead).
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  if (workers > tasks) workers = tasks;
+  if (workers <= 1) {
+    // Serial path: run inline so exceptions propagate directly and the
+    // parallel path has a bit-identical reference to be diffed against.
+    for (std::size_t task = 0; task < tasks; ++task) body(task);
+    return;
+  }
+  TaskPool pool(tasks, body);
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&pool] { pool.worker(); });
+  }
+  for (std::thread& thread : threads) thread.join();
+  pool.rethrow_if_failed();
+}
+
+}  // namespace dbs

@@ -1,0 +1,30 @@
+// Fixed-size worker pool over an atomic task index — promoted from the
+// bench trial harness (PR 2) so the optimizer portfolio (api/portfolio.h)
+// races its planners on the same substrate the benches average trials on.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace dbs {
+
+/// \brief Runs `body(task)` for every task in [0, tasks) on a fixed-size
+/// pool of `workers` threads.
+///
+/// `workers` follows the bench --threads convention: 0 auto-detects one
+/// worker per hardware core, the pool never exceeds `tasks`, and a count of
+/// one runs every task inline on the calling thread (the bit-identical
+/// serial reference path). Task indices are claimed from a lock-free atomic
+/// counter, so each index executes exactly once with no ordering guarantee
+/// between indices; `body` must only touch task-private state (e.g. slot
+/// `task` of a pre-sized vector).
+///
+/// Failure contract (tests/harness_test.cc): if any `body` call throws, the
+/// pool stops handing out new tasks, lets in-flight tasks finish, joins
+/// every worker, and rethrows the first exception on the calling thread — a
+/// throwing task can neither deadlock the pool nor leak a joinable thread.
+/// Later exceptions (at most one per worker) are discarded.
+void run_tasks(std::size_t tasks, std::size_t workers,
+               const std::function<void(std::size_t)>& body);
+
+}  // namespace dbs

@@ -68,21 +68,30 @@ CdsStats run_cds_indexed(Allocation& alloc, const CdsOptions& options) {
   CdsStats stats;
   stats.initial_cost = alloc.cost();
   bool probe_converged = true;
+  bool deadline_stop = false;
   if (alloc.channels() > 1) {
     CandidateIndex index(alloc);
     while (stats.iterations < options.max_iterations) {
+      if (options.deadline.expired()) {
+        // Cooperative cancellation: stop where we stand, and skip the
+        // convergence probe — it costs a full index pass the budget no
+        // longer covers.
+        deadline_stop = true;
+        break;
+      }
       const CdsMove move = index.best_move();
       if (move.gain <= options.min_gain) break;  // local optimum (line 18 of CDS)
       index.apply(move);
       ++stats.iterations;
     }
-    if (stats.iterations >= options.max_iterations) {
+    if (!deadline_stop && stats.iterations >= options.max_iterations) {
       probe_converged = index.best_move().gain <= options.min_gain;
     }
     stats.moves_evaluated = index.moves_evaluated();
     stats.index_repairs = index.repairs();
   }
-  stats.converged = stats.iterations < options.max_iterations || probe_converged;
+  stats.converged = !deadline_stop && (stats.iterations < options.max_iterations ||
+                                       probe_converged);
   stats.final_cost = alloc.cost();
   return stats;
 }
@@ -91,7 +100,14 @@ CdsStats run_cds_scan(Allocation& alloc, const CdsOptions& options) {
   CdsStats stats;
   stats.initial_cost = alloc.cost();
 
+  bool deadline_stop = false;
   while (stats.iterations < options.max_iterations) {
+    if (options.deadline.expired()) {
+      // Cooperative cancellation: stop where we stand; the convergence probe
+      // below is skipped — it is a full scan the budget no longer covers.
+      deadline_stop = true;
+      break;
+    }
     CdsMove move;
     if (options.policy == CdsPolicy::kBestImprovement) {
       move = best_move(alloc);
@@ -106,9 +122,11 @@ CdsStats run_cds_scan(Allocation& alloc, const CdsOptions& options) {
     ++stats.iterations;
   }
 
-  const bool hit_cap = stats.iterations >= options.max_iterations;
+  const bool hit_cap =
+      !deadline_stop && stats.iterations >= options.max_iterations;
   if (hit_cap) stats.moves_evaluated += full_scan_evaluations(alloc);
-  stats.converged = !hit_cap || best_move(alloc).gain <= options.min_gain;
+  stats.converged =
+      !deadline_stop && (!hit_cap || best_move(alloc).gain <= options.min_gain);
   stats.final_cost = alloc.cost();
   return stats;
 }

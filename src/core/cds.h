@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <limits>
 
+#include "common/deadline.h"
 #include "model/allocation.h"
 
 namespace dbs {
@@ -67,6 +68,13 @@ struct CdsOptions {
   /// A move must reduce cost by more than this to be applied. Zero matches
   /// the paper's Δc > 0; the tiny default avoids cycling on rounding noise.
   double min_gain = 1e-12;
+
+  /// Cooperative cancellation (DESIGN.md §13): polled once per applied-move
+  /// iteration. When it fires the run stops where it stands, like an
+  /// exhausted max_iterations but without the final convergence probe
+  /// (converged = false). The never() default costs one branch per
+  /// iteration, not a clock read.
+  Deadline deadline = Deadline::never();
 };
 
 /// Outcome of a CDS run.
@@ -74,7 +82,8 @@ struct CdsStats {
   std::size_t iterations = 0;  ///< number of applied moves
   double initial_cost = 0.0;
   double final_cost = 0.0;
-  bool converged = true;  ///< false iff max_iterations stopped the search
+  bool converged = true;  ///< false iff max_iterations or the deadline
+                          ///< stopped the search before a local optimum
 
   /// Candidate moves whose Δc was computed. This is the real work metric for
   /// comparing engines: kScan pays N·(K−1) per iteration while kIndexed pays

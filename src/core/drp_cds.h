@@ -9,7 +9,11 @@
 
 namespace dbs {
 
-/// Options for the combined pipeline.
+/// Options for the combined pipeline. Cooperative cancellation (DESIGN.md
+/// §13) rides in `cds.deadline`: DRP itself is a single O(N·K) pass that
+/// always runs to completion, and the refinement loop polls the deadline
+/// once per applied move, so a budgeted DRP-CDS overshoots by at most one
+/// CDS iteration.
 struct DrpCdsOptions {
   DrpOptions drp;
   CdsOptions cds;

@@ -1,0 +1,209 @@
+#include "core/kk_partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "obs/obs.h"
+
+namespace dbs {
+namespace {
+
+constexpr std::size_t kNoIndex = std::numeric_limits<std::size_t>::max();
+
+// One materialized LDM node: K partial group sums kept sorted descending,
+// each slot carrying the intrusive singly-linked list of the elements
+// committed to it (so merging two slots is an O(1) splice, never a vector
+// concatenation — total memory stays O(live_nodes · K + N)).
+struct LdmNode {
+  std::vector<double> sums;
+  std::vector<std::size_t> head;
+  std::vector<std::size_t> tail;
+};
+
+// Heap entry. Unmerged elements stay implicit (node == kNoIndex): a
+// singleton's K-tuple is (w, 0, …, 0), so there is nothing to store until
+// its first merge — that halves the peak node count. `tie` is the smallest
+// element id inside the node, which is unique per node (element sets are
+// disjoint) and makes the merge order a deterministic total order.
+struct HeapEntry {
+  double spread = 0.0;
+  std::size_t tie = 0;
+  std::size_t node = kNoIndex;
+  std::size_t element = kNoIndex;
+};
+
+}  // namespace
+
+KkPartition kk_partition(std::span<const double> weights, ChannelId k) {
+  DBS_OBS_SPAN("core.kk.partition");
+  DBS_CHECK_MSG(k >= 1, "kk_partition needs at least one group");
+  DBS_CHECK_MSG(!weights.empty(), "kk_partition needs at least one weight");
+  for (const double w : weights) {
+    DBS_CHECK_MSG(std::isfinite(w) && w >= 0.0,
+                  "kk_partition weights must be finite and non-negative");
+  }
+  const std::size_t n = weights.size();
+  const auto groups = static_cast<std::size_t>(k);
+
+  KkPartition result;
+  result.groups.assign(n, 0);
+  result.sums.assign(groups, 0.0);
+  if (groups == 1) {
+    // Single group: everything lands together; sum in id order so the
+    // reduction is deterministic.
+    for (const double w : weights) result.sums[0] += w;
+    return result;
+  }
+
+  // next_element[e] chains the elements committed to one slot.
+  std::vector<std::size_t> next_element(n, kNoIndex);
+  std::vector<LdmNode> nodes;
+  std::vector<std::size_t> free_nodes;
+  const auto acquire_node = [&]() {
+    std::size_t index = kNoIndex;
+    if (free_nodes.empty()) {
+      index = nodes.size();
+      nodes.emplace_back();
+    } else {
+      index = free_nodes.back();
+      free_nodes.pop_back();
+    }
+    LdmNode& node = nodes[index];
+    node.sums.assign(groups, 0.0);
+    node.head.assign(groups, kNoIndex);
+    node.tail.assign(groups, kNoIndex);
+    return index;
+  };
+  const auto splice = [&](LdmNode& into, std::size_t slot, std::size_t head,
+                          std::size_t tail) {
+    if (head == kNoIndex) return;
+    if (into.head[slot] == kNoIndex) {
+      into.head[slot] = head;
+    } else {
+      next_element[into.tail[slot]] = head;
+    }
+    into.tail[slot] = tail;
+  };
+
+  // Max-heap on spread; equal spreads resolve to the node holding the
+  // smallest element id, so the whole merge sequence is deterministic.
+  const auto heap_less = [](const HeapEntry& a, const HeapEntry& b) {
+    if (a.spread != b.spread) return a.spread < b.spread;
+    return a.tie > b.tie;
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(heap_less)>
+      heap(heap_less);
+  for (std::size_t e = 0; e < n; ++e) {
+    heap.push(HeapEntry{weights[e], e, kNoIndex, e});
+  }
+
+  // Scratch buffers for the per-merge descending re-sort, reused across
+  // merges.
+  std::vector<std::size_t> order(groups);
+  std::vector<double> sorted_sums(groups);
+  std::vector<std::size_t> sorted_head(groups);
+  std::vector<std::size_t> sorted_tail(groups);
+
+  while (heap.size() > 1) {
+    HeapEntry a = heap.top();
+    heap.pop();
+    const HeapEntry b = heap.top();
+    heap.pop();
+
+    // Materialize `a` as the surviving node.
+    if (a.node == kNoIndex) {
+      a.node = acquire_node();
+      LdmNode& fresh = nodes[a.node];
+      fresh.sums[0] = weights[a.element];
+      fresh.head[0] = fresh.tail[0] = a.element;
+    }
+    LdmNode& keep = nodes[a.node];
+
+    // The LDM merge pairs sums largest-against-smallest: c_i = a_i +
+    // b_{K-1-i}. For each slot pair c_i − c_j = (a_i − a_j) − (b_{K-1-j} −
+    // b_{K-1-i}) is a difference of equal-signed gaps, so the merged spread
+    // never exceeds max(spread(a), spread(b)) — the differencing bound.
+    if (b.node == kNoIndex) {
+      keep.sums[groups - 1] += weights[b.element];
+      splice(keep, groups - 1, b.element, b.element);
+    } else {
+      LdmNode& other = nodes[b.node];
+      for (std::size_t i = 0; i < groups; ++i) {
+        const std::size_t j = groups - 1 - i;
+        keep.sums[i] += other.sums[j];
+        splice(keep, i, other.head[j], other.tail[j]);
+      }
+      other.sums.clear();
+      other.head.clear();
+      other.tail.clear();
+      free_nodes.push_back(b.node);
+    }
+
+    // Restore the descending slot order (stable, so equal sums keep their
+    // relative position and the labeling stays deterministic).
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+      return keep.sums[x] > keep.sums[y];
+    });
+    for (std::size_t i = 0; i < groups; ++i) {
+      sorted_sums[i] = keep.sums[order[i]];
+      sorted_head[i] = keep.head[order[i]];
+      sorted_tail[i] = keep.tail[order[i]];
+    }
+    keep.sums = sorted_sums;
+    keep.head = sorted_head;
+    keep.tail = sorted_tail;
+
+    heap.push(HeapEntry{keep.sums.front() - keep.sums.back(),
+                        std::min(a.tie, b.tie), a.node, kNoIndex});
+  }
+
+  const HeapEntry final_entry = heap.top();
+  if (final_entry.node == kNoIndex) {
+    // N = 1: the lone element never merged.
+    result.sums[0] = weights[final_entry.element];
+    return result;
+  }
+  const LdmNode& final_node = nodes[final_entry.node];
+  for (std::size_t slot = 0; slot < groups; ++slot) {
+    result.sums[slot] = final_node.sums[slot];
+    for (std::size_t e = final_node.head[slot]; e != kNoIndex;
+         e = next_element[e]) {
+      result.groups[e] = static_cast<ChannelId>(slot);
+    }
+  }
+  DBS_OBS_COUNTER_INC("core.kk.runs");
+  return result;
+}
+
+Allocation kk_seed_allocation(const Database& db, ChannelId channels) {
+  DBS_CHECK_MSG(channels >= 1, "kk_seed_allocation needs at least one channel");
+  DBS_CHECK_MSG(channels <= db.size(), "cannot fill more channels than items");
+  const std::span<const double> freqs = db.freqs();
+  const std::span<const double> sizes = db.sizes();
+  std::vector<double> weights(db.size());
+  for (std::size_t j = 0; j < weights.size(); ++j) {
+    weights[j] = std::sqrt(freqs[j] * sizes[j]);
+  }
+  KkPartition partition = kk_partition(weights, channels);
+  return Allocation(db, channels, std::move(partition.groups));
+}
+
+double broadcast_cost_lower_bound(const Database& db, ChannelId channels) {
+  DBS_CHECK_MSG(channels >= 1, "broadcast_cost_lower_bound needs K >= 1");
+  const std::span<const double> freqs = db.freqs();
+  const std::span<const double> sizes = db.sizes();
+  double root_mass = 0.0;
+  for (std::size_t j = 0; j < db.size(); ++j) {
+    root_mass += std::sqrt(freqs[j] * sizes[j]);
+  }
+  return std::max(db.weighted_size(),
+                  root_mass * root_mass / static_cast<double>(channels));
+}
+
+}  // namespace dbs

@@ -1,0 +1,65 @@
+// Karmarkar–Karp largest-differencing seeding for the optimizer portfolio
+// (DESIGN.md §13).
+//
+// The Eq. 3 cost Σ_i F_i·Z_i is bounded below, per channel, by the
+// Cauchy–Schwarz inequality: F_i·Z_i ≥ (Σ_{j∈D_i} √(f_j z_j))² = G_i², so a
+// partition that balances the per-channel √(f·z) mass G_i drives the cost
+// toward its K-channel floor (Σ_j √(f_j z_j))² / K. Balancing K subset sums
+// is exactly multi-way number partitioning, and the largest differencing
+// method (LDM, Karmarkar–Karp 1982) is its classic near-optimal heuristic:
+// it commits only to *differences* between the largest partial solutions,
+// deferring the actual side-picking until everything else is placed. The
+// resulting seed lands near a CDS basin that the paper's own DRP ordering
+// misses on low-diversity workloads — which is why the portfolio races it.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "model/allocation.h"
+#include "model/database.h"
+
+namespace dbs {
+
+/// Outcome of the K-way largest-differencing partition.
+struct KkPartition {
+  /// Group label (0..k-1) per input element, indexed like `weights`.
+  std::vector<ChannelId> groups;
+  /// Final per-group weight sums, one per group, in group-label order.
+  std::vector<double> sums;
+};
+
+/// \brief Partitions `weights` into `k` groups with the Karmarkar–Karp
+/// largest differencing method.
+///
+/// LDM state is a set of K-tuples of partial group sums (kept sorted
+/// descending); each step merges the two tuples of largest spread by pairing
+/// their sums largest-against-smallest, which cancels the bulk of the
+/// difference while deferring the final group identities. Because a merge
+/// never increases the spread of either operand, the returned partition
+/// satisfies max(sums) − min(sums) ≤ max(weights) — the differencing bound
+/// the property tests pin. Deterministic: ties in the merge order resolve to
+/// the tuple containing the smallest element id. Requires k ≥ 1, at least
+/// one weight, and every weight finite and non-negative. O(N·(log N + K)).
+KkPartition kk_partition(std::span<const double> weights, ChannelId k);
+
+/// \brief KK-differencing seed allocation: partitions the catalogue into
+/// `channels` groups balancing the per-channel √(f·z) mass (the
+/// Cauchy–Schwarz-exact weight column — see the header comment), and binds
+/// the result to `db`. Requires 1 ≤ channels ≤ N. The portfolio refines
+/// this seed with CDS; on its own it ignores the f×z cross terms.
+Allocation kk_seed_allocation(const Database& db, ChannelId channels);
+
+/// \brief KSY-flavoured lower bound on the Eq. 3 cost of *any* K-channel
+/// allocation: max(Σ_j f_j z_j, (Σ_j √(f_j z_j))² / K).
+///
+/// The first term keeps every item's own f_j·z_j product (all cross terms
+/// in F_i·Z_i are non-negative); the second is Cauchy–Schwarz per channel
+/// followed by the quadratic–arithmetic mean inequality across channels,
+/// the same √(f·z)-mass argument Kenyon–Schabanel–Young build their
+/// broadcast PTAS around. Used by the tests as the quality anchor no
+/// algorithm may beat. Requires channels ≥ 1.
+double broadcast_cost_lower_bound(const Database& db, ChannelId channels);
+
+}  // namespace dbs

@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "api/portfolio.h"
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "model/cost.h"
@@ -28,6 +29,7 @@ BroadcastServerLoop::BroadcastServerLoop(std::vector<double> item_sizes,
   DBS_CHECK(config.bandwidth > 0.0);
   DBS_CHECK(config.rebuild_threshold >= 0.0);
   DBS_CHECK(config.escalate_threshold >= 0.0);
+  DBS_CHECK(config.escalation_deadline_ms >= 0.0);
   DBS_CHECK_MSG(config.reference_decay >= 0.0 && config.reference_decay <= 1.0,
                 "reference_decay must lie in [0, 1]");
   DBS_CHECK_MSG(config.channels <= sizes_.size(),
@@ -106,23 +108,31 @@ EpochReport BroadcastServerLoop::observe_window(const std::vector<Request>& wind
   double chosen_cost = repaired.final_cost;
   if (report.escalated) {
     Stopwatch rebuild_watch;
-    DrpCdsResult rebuilt = [&] {
+    // The escalation path (DESIGN.md §13): with a configured budget the
+    // rebuild is the portfolio race — never worse than DRP-CDS alone and
+    // bounded in wall time — otherwise the classic unbudgeted DRP-CDS.
+    auto [rebuilt_allocation, rebuilt_cost] = [&]() -> std::pair<Allocation, double> {
       DBS_OBS_SPAN("serve.epoch.rebuild");
-      return run_drp_cds(fresh, config_.channels);
+      if (config_.escalation_deadline_ms > 0.0) {
+        PortfolioResult raced =
+            plan(fresh, config_.channels, config_.escalation_deadline_ms);
+        return {std::move(raced.allocation), raced.cost};
+      }
+      DrpCdsResult rebuilt = run_drp_cds(fresh, config_.channels);
+      return {std::move(rebuilt.allocation), rebuilt.final_cost};
     }();
     report.rebuild_ms = rebuild_watch.millis();
-    report.rebuilt_cost = rebuilt.final_cost;
+    report.rebuilt_cost = rebuilt_cost;
     report.adopted_rebuild =
-        rebuilt.final_cost <
-        repaired.final_cost * (1.0 - config_.rebuild_threshold);
+        rebuilt_cost < repaired.final_cost * (1.0 - config_.rebuild_threshold);
     if (report.adopted_rebuild) {
-      repaired.allocation = std::move(rebuilt.allocation);
-      chosen_cost = rebuilt.final_cost;
+      repaired.allocation = std::move(rebuilt_allocation);
+      chosen_cost = rebuilt_cost;
     }
     // Whether adopted or not, the escalation measured the truly achievable
     // cost on this estimate: resetting the reference to it stops the trigger
     // from re-firing every epoch after drift genuinely raised the optimum.
-    reference_cost_ = std::min(repaired.final_cost, rebuilt.final_cost);
+    reference_cost_ = std::min(repaired.final_cost, rebuilt_cost);
     stall_streak_ = 0;
   } else if (chosen_cost < reference_cost_) {
     reference_cost_ = chosen_cost;  // new best-known

@@ -72,6 +72,14 @@ struct ServerLoopConfig {
   /// Pins the service to repair-only operation: no epoch ever runs the full
   /// DRP-CDS rebuild, whatever the triggers say.
   bool never_escalate = false;
+
+  /// Budget for an escalated re-plan, in milliseconds. 0 (the default)
+  /// keeps the classic unbudgeted DRP-CDS rebuild; > 0 races the optimizer
+  /// portfolio (api/portfolio.h: DRP-CDS, KK-CDS, deadline-capped GOPT)
+  /// under this deadline and adopts its winner instead — so even a forced
+  /// rebuild epoch has a bounded worst-case wall time, and the rebuild
+  /// quality is never worse than DRP-CDS alone would have delivered.
+  double escalation_deadline_ms = 0.0;
 };
 
 /// Why an epoch escalated to a full DRP-CDS rebuild.

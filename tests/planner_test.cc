@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/check.h"
 #include "model/cost.h"
 #include "workload/generator.h"
@@ -64,6 +66,24 @@ TEST(Planner, RejectsBadInput) {
   const Database db = generate_database({.items = 4, .seed = 5});
   EXPECT_THROW(plan_channel_count(db, 0.0, 4), ContractViolation);
   EXPECT_THROW(plan_channel_count(db, 10.0, 0), ContractViolation);
+}
+
+TEST(Planner, TiesBreakTowardFewestChannels) {
+  // Two items, only one ever requested: the hot item (size 1) broadcasts
+  // alone either way, so W(K=1) = W(K=2) = 3.0 exactly (no rounding — every
+  // quantity is integral), and the planner must keep the smaller K.
+  const Database db(std::vector<double>{1.0, 3.0}, std::vector<double>{1.0, 0.0});
+  const PlanResult r = plan_channel_count(db, 1.0, 2);
+  ASSERT_EQ(r.sweep.size(), 2u);
+  EXPECT_EQ(r.sweep[0].waiting_time, r.sweep[1].waiting_time);
+  EXPECT_EQ(r.best_channels, 1u);
+}
+
+TEST(Planner, HugeChannelCapJustClampsToTheCatalogue) {
+  const Database db = generate_database({.items = 6, .seed = 6});
+  const PlanResult r =
+      plan_channel_count(db, 10.0, std::numeric_limits<ChannelId>::max());
+  EXPECT_EQ(r.sweep.size(), 6u);
 }
 
 }  // namespace

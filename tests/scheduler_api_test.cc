@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+
 #include "common/check.h"
 #include "model/cost.h"
 #include "workload/generator.h"
@@ -34,6 +36,29 @@ TEST(Registry, UnknownNameIsNullopt) {
   EXPECT_FALSE(algorithm_from_name("").has_value());
 }
 
+TEST(Registry, EveryEnumeratorIsRegistered) {
+  // The full enumerator list, spelled out: adding an Algorithm without a
+  // registry row used to make algorithm_name() silently answer "unknown";
+  // now it must round-trip — and the registry may not hold strays either.
+  const Algorithm all[] = {
+      Algorithm::kFlat,      Algorithm::kFlatBalanced, Algorithm::kGreedy,
+      Algorithm::kVfk,       Algorithm::kDrp,          Algorithm::kDrpCds,
+      Algorithm::kOrderedDp, Algorithm::kGopt,         Algorithm::kAnneal,
+      Algorithm::kBruteForce, Algorithm::kPortfolio,
+  };
+  EXPECT_EQ(all_algorithms().size(), std::size(all));
+  for (Algorithm a : all) {
+    const std::string_view name = algorithm_name(a);
+    const auto parsed = algorithm_from_name(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, a);
+  }
+}
+
+TEST(Registry, UnregisteredEnumeratorFailsLoudly) {
+  EXPECT_THROW(algorithm_name(static_cast<Algorithm>(999)), ContractViolation);
+}
+
 TEST(Schedule, RunsEveryAlgorithmOnAModestInstance) {
   const Database db = generate_database({.items = 14, .skewness = 0.9,
                                          .diversity = 1.5, .seed = 1});
@@ -43,6 +68,7 @@ TEST(Schedule, RunsEveryAlgorithmOnAModestInstance) {
     request.channels = 3;
     request.gopt.population = 40;
     request.gopt.generations = 80;
+    request.portfolio.gopt = request.gopt;  // keep the kPortfolio row fast too
     const ScheduleResult result = schedule(db, request);
     std::string error;
     EXPECT_TRUE(result.allocation.validate(&error)) << info.name << ": " << error;

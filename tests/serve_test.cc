@@ -229,6 +229,38 @@ TEST(ServerLoop, ZeroRebuildThresholdAdoptsAnyStrictlyBetterRebuild) {
   }
 }
 
+TEST(ServerLoop, EscalatesViaPortfolioWhenBudgeted) {
+  // With an escalation budget configured, a forced rebuild runs the
+  // portfolio race (DESIGN.md §13) instead of the unbudgeted DRP-CDS. The
+  // loop's control contract is unchanged: escalated epochs report a real
+  // rebuild cost and wall time, and the published program stays valid with
+  // its cost matching the adoption decision.
+  BroadcastServerLoop server(sample_sizes(50, 18),
+                             {.channels = 5,
+                              .rebuild_threshold = 0.0,
+                              .escalate_threshold = 0.0,
+                              .escalation_deadline_ms = 300.0});
+  const auto freqs = zipf_probabilities(50, 1.2);
+  Rng rng(19);
+  std::size_t escalations = 0;
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    const EpochReport r = server.observe_window(window_from(freqs, 2000, rng));
+    if (r.escalated) {
+      ++escalations;
+      EXPECT_GT(r.rebuilt_cost, 0.0);
+      EXPECT_GT(r.rebuild_ms, 0.0);
+      EXPECT_EQ(r.adopted_rebuild, r.rebuilt_cost < r.repaired_cost);
+    }
+    std::string error;
+    EXPECT_TRUE(server.allocation().validate(&error)) << error;
+    EXPECT_NEAR(server.allocation().cost(),
+                r.adopted_rebuild ? r.rebuilt_cost : r.repaired_cost, 1e-9);
+  }
+  // Hair-trigger threshold on steady traffic: repair cannot keep improving
+  // forever, so at least one epoch must have taken the portfolio path.
+  EXPECT_GT(escalations, 0u);
+}
+
 TEST(ServerLoop, EmbedsMetricsSnapshotWhenObsIsOn) {
   BroadcastServerLoop server(sample_sizes(30, 7), {.channels = 3});
   const auto freqs = zipf_probabilities(30, 1.0);
@@ -265,6 +297,9 @@ TEST(ServerLoop, RejectsBadConfig) {
                ContractViolation);
   EXPECT_THROW(BroadcastServerLoop(sample_sizes(5, 5),
                                    {.channels = 2, .reference_decay = 1.5}),
+               ContractViolation);
+  EXPECT_THROW(BroadcastServerLoop(sample_sizes(5, 5),
+                                   {.channels = 2, .escalation_deadline_ms = -1.0}),
                ContractViolation);
 }
 
